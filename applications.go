@@ -1,0 +1,70 @@
+package ptm
+
+import (
+	"time"
+
+	"ptm/internal/aadt"
+	"ptm/internal/mobility"
+)
+
+// Application-layer helpers: the transportation-engineering uses the
+// paper's introduction motivates (AADT) and a road-network mobility model
+// for realistic simulations.
+
+// AADT (Annual Average Daily Traffic) types.
+type (
+	// DailyVolume is one day's traffic volume at a location, typically
+	// produced by EstimateVolume over a period record.
+	DailyVolume = aadt.Sample
+	// AdjustmentFactors expand short counts to AADT estimates.
+	AdjustmentFactors = aadt.Factors
+)
+
+// AADTAverage computes AADT as the mean over a (near-)complete year of
+// daily volumes.
+func AADTAverage(days []DailyVolume) (float64, error) {
+	return aadt.Average(days)
+}
+
+// FitAADTFactors derives month and day-of-week adjustment factors from a
+// historical year at a comparable location.
+func FitAADTFactors(history []DailyVolume) (*AdjustmentFactors, error) {
+	return aadt.FitFactors(history)
+}
+
+// AADTFromShortCounts expands a handful of daily counts into an AADT
+// estimate using fitted adjustment factors.
+func AADTFromShortCounts(days []DailyVolume, f *AdjustmentFactors) (float64, error) {
+	return aadt.EstimateFromShortCounts(days, f)
+}
+
+// NewDailyVolume pairs a date with a volume estimate.
+func NewDailyVolume(date time.Time, volume float64) DailyVolume {
+	return DailyVolume{Date: date, Volume: volume}
+}
+
+// Mobility model types.
+type (
+	// RoadGrid is a rectangular network of instrumented intersections.
+	RoadGrid = mobility.Grid
+	// GridPoint is an intersection coordinate.
+	GridPoint = mobility.Point
+	// GridTrip is an origin-destination pair on the grid.
+	GridTrip = mobility.Trip
+	// TrafficWorld holds a commuter fleet and background traffic on a
+	// grid.
+	TrafficWorld = mobility.World
+	// DayVisits maps locations to the vehicles that passed them in one
+	// simulated day.
+	DayVisits = mobility.Visits
+)
+
+// NewRoadGrid creates a W x H grid of instrumented intersections.
+func NewRoadGrid(w, h int) (*RoadGrid, error) {
+	return mobility.NewGrid(w, h)
+}
+
+// NewTrafficWorld creates an empty mobility world on the grid.
+func NewTrafficWorld(grid *RoadGrid, s int, seed uint64) (*TrafficWorld, error) {
+	return mobility.NewWorld(grid, s, seed)
+}

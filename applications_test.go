@@ -1,0 +1,102 @@
+package ptm
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestAADTPipeline: per-period volume estimates from privacy-preserving
+// records feed AADT computation — the application chain the paper's
+// introduction motivates.
+func TestAADTPipeline(t *testing.T) {
+	// Build a "year" of daily volumes with weekly structure by running
+	// the volume estimator over synthetic records, then compute AADT.
+	base := []float64{5000, 8200, 8400, 8300, 8500, 8700, 6200} // Sun..Sat
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	var days []DailyVolume
+	nextID := VehicleID(0)
+	var trueSum float64
+	for d := 0; d < 365; d++ {
+		date := start.AddDate(0, 0, d)
+		vol := int(base[int(date.Weekday())])
+		trueSum += float64(vol)
+		// Sample ~1 in 6 days with real records (estimating all 365
+		// would be slow); the rest use the known volume directly, as a
+		// deployment would mix detector sources.
+		est := float64(vol)
+		if d%6 == 0 {
+			b, err := NewRecordBuilder(1, PeriodID(d+1), float64(vol), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < vol; i++ {
+				v, err := NewSeededVehicleIdentity(nextID, DefaultS, 9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nextID++
+				b.Observe(v)
+			}
+			est, err = EstimateVolume(b.Finish())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		days = append(days, NewDailyVolume(date, est))
+	}
+	trueAADT := trueSum / 365
+
+	got, err := AADTAverage(days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(got-trueAADT) / trueAADT; re > 0.02 {
+		t.Errorf("AADT %v vs true %v (rel err %.4f)", got, trueAADT, re)
+	}
+
+	// Short-count expansion: a Sunday-only count would underestimate by
+	// ~35%; factors fix it.
+	f, err := FitAADTFactors(days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sunday := days[4] // Jan 5, 2025 is a Sunday
+	if sunday.Date.Weekday() != time.Sunday {
+		t.Fatalf("expected Sunday, got %v", sunday.Date.Weekday())
+	}
+	expanded, err := AADTFromShortCounts([]DailyVolume{sunday}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(expanded-trueAADT) / trueAADT; re > 0.05 {
+		t.Errorf("expanded AADT %v vs true %v (rel err %.4f)", expanded, trueAADT, re)
+	}
+}
+
+func TestKWayAPI(t *testing.T) {
+	recs := makeRecords(t, 3, 6, 500, 3000, 21)
+	kw, err := EstimatePointKWay(recs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(kw.Estimate-500) / 500; re > 0.2 {
+		t.Errorf("k=3 estimate %v vs 500 (rel err %.3f)", kw.Estimate, re)
+	}
+	if _, err := EstimatePointKWay(recs, 7); err == nil {
+		t.Error("k > t accepted")
+	}
+}
+
+func TestMobilityAPIValidation(t *testing.T) {
+	if _, err := NewRoadGrid(0, 5); err == nil {
+		t.Error("bad grid accepted")
+	}
+	grid, err := NewRoadGrid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTrafficWorld(grid, 0, 1); err == nil {
+		t.Error("bad s accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Command centrald runs the central server of Section II-A: it listens for
+// RSU record uploads and persistent-traffic queries over the TCP protocol.
+//
+//	centrald -listen :7700 -s 3 [-http :7780] [-load snap.ptm] [-save snap.ptm]
+//
+// With -save, the store is snapshotted to disk on SIGINT/SIGTERM before
+// exit; with -load, an existing snapshot is restored at startup. -http
+// exposes the read-only admin surface (/healthz, /stats, /locations,
+// /query/...).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ptm/internal/central"
+	"ptm/internal/transport"
+)
+
+func main() {
+	cfg := parseFlags(os.Args[1:])
+	logger := log.New(os.Stderr, "centrald: ", log.LstdFlags)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	if err := serve(cfg, logger, sigc); err != nil {
+		fmt.Fprintln(os.Stderr, "centrald:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	listen   string
+	httpAddr string
+	s        int
+	load     string
+	save     string
+	// ready and httpReady, if non-nil, receive the bound addresses once
+	// serving — used by tests to synchronize.
+	ready     chan<- string
+	httpReady chan<- string
+}
+
+func parseFlags(args []string) config {
+	fs := flag.NewFlagSet("centrald", flag.ExitOnError)
+	var cfg config
+	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:7700", "TCP listen address")
+	fs.StringVar(&cfg.httpAddr, "http", "", "optional HTTP admin address (e.g. 127.0.0.1:7780)")
+	fs.IntVar(&cfg.s, "s", 3, "system-wide representative-bit count")
+	fs.StringVar(&cfg.load, "load", "", "snapshot file to restore at startup")
+	fs.StringVar(&cfg.save, "save", "", "snapshot file to write on shutdown")
+	_ = fs.Parse(args) // ExitOnError
+	return cfg
+}
+
+// serve runs the daemon until a signal arrives on sigc or the listener
+// fails.
+func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
+	store, err := central.NewServer(cfg.s)
+	if err != nil {
+		return err
+	}
+	if cfg.load != "" {
+		if err := loadSnapshot(store, cfg.load); err != nil {
+			return err
+		}
+		logger.Printf("restored %d locations from %s", len(store.Locations()), cfg.load)
+	}
+
+	srv, err := transport.NewServer(store, logger)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return fmt.Errorf("listening: %w", err)
+	}
+	logger.Printf("serving on %s (s=%d)", ln.Addr(), cfg.s)
+
+	if cfg.httpAddr != "" {
+		httpLn, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listen: %w", err)
+		}
+		httpSrv := &http.Server{Handler: store.Handler()}
+		go func() {
+			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("http: %v", err)
+			}
+		}()
+		defer func() { _ = httpSrv.Close() }()
+		logger.Printf("admin HTTP on %s", httpLn.Addr())
+		if cfg.httpReady != nil {
+			cfg.httpReady <- httpLn.Addr().String()
+		}
+	}
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr().String()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %v, shutting down", sig)
+		if err := srv.Close(); err != nil {
+			logger.Printf("close: %v", err)
+		}
+	case err := <-done:
+		if err != nil && !errors.Is(err, transport.ErrServerClosed) {
+			return err
+		}
+	}
+
+	if cfg.save != "" {
+		if err := saveSnapshot(store, cfg.save); err != nil {
+			return err
+		}
+		logger.Printf("snapshot written to %s", cfg.save)
+	}
+	return nil
+}
+
+func loadSnapshot(store *central.Server, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("opening snapshot: %w", err)
+	}
+	err = store.LoadFrom(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("restoring snapshot: %w", err)
+	}
+	return nil
+}
+
+func saveSnapshot(store *central.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating snapshot: %w", err)
+	}
+	err = store.SaveTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing snapshot: %w", err)
+	}
+	return nil
+}

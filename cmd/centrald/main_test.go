@@ -1,0 +1,123 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ptm/internal/record"
+	"ptm/internal/transport"
+)
+
+// startDaemon runs serve() in a goroutine on ephemeral ports and returns
+// the TCP address, a shutdown function, and the exit channel.
+func startDaemon(t *testing.T, cfg config) (addr string, shutdown func(), done <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	cfg.listen = "127.0.0.1:0"
+	cfg.ready = ready
+	sigc := make(chan os.Signal, 1)
+	exit := make(chan error, 1)
+	logger := log.New(io.Discard, "", 0)
+	go func() { exit <- serve(cfg, logger, sigc) }()
+	select {
+	case addr = <-ready:
+	case err := <-exit:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	return addr, func() { sigc <- syscall.SIGTERM }, exit
+}
+
+func TestDaemonLifecycleWithSnapshot(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "records.ptm")
+
+	// First run: ingest one record, shut down, snapshot written.
+	addr, shutdown, done := startDaemon(t, config{s: 3, save: snap})
+	client, err := transport.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := record.New(9, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Bitmap.Set(5)
+	if err := client.Upload(rec); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	shutdown()
+	if err := <-done; err != nil {
+		t.Fatalf("first run exit: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+
+	// Second run: restore the snapshot, query the record back.
+	addr2, shutdown2, done2 := startDaemon(t, config{s: 3, load: snap})
+	client2, err := transport.Dial(addr2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs, err := client2.ListLocations()
+	if err != nil || len(locs) != 1 || locs[0] != 9 {
+		t.Fatalf("restored locations = %v, %v", locs, err)
+	}
+	vol, err := client2.QueryVolume(9, 4)
+	if err != nil || vol <= 0 {
+		t.Fatalf("restored volume = %v, %v", vol, err)
+	}
+	_ = client2.Close()
+	shutdown2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second run exit: %v", err)
+	}
+}
+
+func TestDaemonHTTPAdmin(t *testing.T) {
+	httpReady := make(chan string, 1)
+	_, shutdown, done := startDaemon(t, config{s: 3, httpAddr: "127.0.0.1:0", httpReady: httpReady})
+	defer func() {
+		shutdown()
+		<-done
+	}()
+	var httpAddr string
+	select {
+	case httpAddr = <-httpReady:
+	case <-time.After(5 * time.Second):
+		t.Fatal("http admin did not come up")
+	}
+	resp, err := http.Get("http://" + httpAddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz = %d %q, %v", resp.StatusCode, body, err)
+	}
+}
+
+func TestDaemonBadSnapshotPath(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	err := serve(config{s: 3, listen: "127.0.0.1:0", load: "/does/not/exist.ptm"}, logger, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("bad load err = %v", err)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg := parseFlags([]string{"-listen", "1.2.3.4:9", "-s", "5", "-save", "x.ptm"})
+	if cfg.listen != "1.2.3.4:9" || cfg.s != 5 || cfg.save != "x.ptm" || cfg.httpAddr != "" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}

@@ -1,0 +1,272 @@
+// Command ptmbench regenerates every table and figure of the paper's
+// evaluation (Section VI):
+//
+//	ptmbench -exp table1          # Table I  (Sioux Falls point-to-point)
+//	ptmbench -exp table2          # Table II (privacy ratio sweep)
+//	ptmbench -exp fig4            # Fig. 4   (point rel-err vs volume, t=5,10)
+//	ptmbench -exp fig5            # Fig. 5   (scatter, f=2)
+//	ptmbench -exp fig6            # Fig. 6   (scatter, f=3)
+//	ptmbench -exp all             # everything
+//
+// The paper averages 1000 simulation runs per cell; -runs controls that
+// (default 200 keeps Table I to a few minutes on a laptop while the means
+// are already stable; use -runs 1000 for the paper's exact protocol).
+// Output defaults to human-readable tables; -csv emits CSV series suitable
+// for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"ptm/internal/privacy"
+	"ptm/internal/sim"
+	"ptm/internal/trips"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ptmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ptmbench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, all")
+		runs    = fs.Int("runs", 200, "simulation runs per cell (paper: 1000)")
+		scatter = fs.Int("scatter-runs", 1, "measurements per sweep position in scatter figures")
+		seed    = fs.Uint64("seed", 1, "base RNG seed")
+		workers = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := sim.Options{Runs: *runs, Seed: *seed, Workers: *workers}
+
+	experiments := strings.Split(*exp, ",")
+	if *exp == "all" {
+		experiments = []string{"table2", "privacy", "fig4", "fig5", "fig6", "table1"}
+	}
+	for _, e := range experiments {
+		switch strings.TrimSpace(e) {
+		case "table1":
+			if err := runTable1(out, opts, *csv); err != nil {
+				return err
+			}
+		case "table2":
+			if err := runTable2(out, *csv); err != nil {
+				return err
+			}
+		case "fig4":
+			if err := runFig4(out, opts, *csv); err != nil {
+				return err
+			}
+		case "fig5":
+			if err := runScatter(out, "Figure 5", 2.0, sim.Options{Runs: *scatter, Seed: *seed, Workers: *workers, F: 2}, *csv); err != nil {
+				return err
+			}
+		case "fig6":
+			if err := runScatter(out, "Figure 6", 3.0, sim.Options{Runs: *scatter, Seed: *seed, Workers: *workers, F: 3}, *csv); err != nil {
+				return err
+			}
+		case "privacy":
+			if err := runPrivacyEmpirical(out, sim.Options{Runs: max(*runs, 20000), Seed: *seed, Workers: *workers}, *csv); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", e)
+		}
+	}
+	return nil
+}
+
+func runTable1(out io.Writer, opts sim.Options, csv bool) error {
+	fmt.Fprintf(out, "# Table I: relative error of point-to-point persistent traffic estimation, Sioux Falls (runs=%d, s=3, f=2)\n", opts.Runs)
+	tab := trips.NewSiouxFalls()
+	res, err := sim.RunTable1(tab, nil, nil, opts)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Fprintln(out, "L,n,m,m_ratio,n_common,relerr_t3,relerr_t5,relerr_t7,relerr_t10,same_size_t5")
+		for _, c := range res.Columns {
+			fmt.Fprintf(out, "%d,%.0f,%d,%d,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+				c.L, c.N, c.M, c.MRatio, c.NCommon,
+				c.RelErrByT[3], c.RelErrByT[5], c.RelErrByT[7], c.RelErrByT[10], c.SameSizeRelErr)
+		}
+		return nil
+	}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	row := func(name string, f func(c sim.Table1Column) string) {
+		fmt.Fprintf(w, "%s", name)
+		for _, c := range res.Columns {
+			fmt.Fprintf(w, "\t%s", f(c))
+		}
+		fmt.Fprintln(w)
+	}
+	row("L", func(c sim.Table1Column) string { return fmt.Sprintf("%d", c.L) })
+	row("n", func(c sim.Table1Column) string { return fmt.Sprintf("%.0f", c.N) })
+	row("m", func(c sim.Table1Column) string { return fmt.Sprintf("%d", c.M) })
+	row("m'/m", func(c sim.Table1Column) string { return fmt.Sprintf("%d", c.MRatio) })
+	row("n''", func(c sim.Table1Column) string { return fmt.Sprintf("%.0f", c.NCommon) })
+	for _, t := range res.Ts {
+		t := t
+		row(fmt.Sprintf("rel err (t=%d)", t), func(c sim.Table1Column) string {
+			return fmt.Sprintf("%.4f", c.RelErrByT[t])
+		})
+	}
+	row("same-size (t=5)", func(c sim.Table1Column) string { return fmt.Sprintf("%.4f", c.SameSizeRelErr) })
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "n' = %.0f at L' = %d, m' = %d\n\n", res.NPrime, trips.LPrime, res.MPrime)
+	return nil
+}
+
+func runTable2(out io.Writer, csv bool) error {
+	fmt.Fprintln(out, "# Table II: probabilistic noise-to-information ratio and noise p")
+	if csv {
+		fmt.Fprintln(out, "s,f,ratio,noise")
+		for _, s := range privacy.TableIISs {
+			for _, f := range privacy.TableIIFs {
+				p, err := privacy.Evaluate(f, s)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%d,%.1f,%.4f,%.4f\n", s, f, p.Ratio, p.Noise)
+			}
+		}
+		return nil
+	}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "s\\f")
+	for _, f := range privacy.TableIIFs {
+		fmt.Fprintf(w, "\tf=%.1f", f)
+	}
+	fmt.Fprintln(w)
+	for _, s := range privacy.TableIISs {
+		fmt.Fprintf(w, "s=%d", s)
+		for _, f := range privacy.TableIIFs {
+			p, err := privacy.Evaluate(f, s)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.4f", p.Ratio)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "p")
+	for _, f := range privacy.TableIIFs {
+		p, err := privacy.Evaluate(f, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\t%.4f", p.Noise)
+	}
+	fmt.Fprintln(w)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func runFig4(out io.Writer, opts sim.Options, csv bool) error {
+	for _, t := range []int{5, 10} {
+		fmt.Fprintf(out, "# Figure 4 (%s plot): point persistent rel err vs actual volume, t=%d (runs=%d, s=3, f=2)\n",
+			map[int]string{5: "left", 10: "right"}[t], t, opts.Runs)
+		pts, err := sim.RunFig4(t, opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Fprintln(out, "n_star,proposed,benchmark")
+			for _, p := range pts {
+				fmt.Fprintf(out, "%d,%.4f,%.4f\n", p.NStar, p.Proposed, p.Benchmark)
+			}
+			continue
+		}
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "n*\tproposed\tbenchmark")
+		for _, p := range pts {
+			fmt.Fprintf(w, "%d\t%.4f\t%.4f\n", p.NStar, p.Proposed, p.Benchmark)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runPrivacyEmpirical validates Section V by simulation: the measured
+// tracker-success frequencies against Eq. (22)/(23) across load factors.
+func runPrivacyEmpirical(out io.Writer, opts sim.Options, csv bool) error {
+	fmt.Fprintf(out, "# Empirical privacy validation (Section V), %d trials per point, s=3\n", opts.Runs)
+	const mPrime = 1 << 14
+	if csv {
+		fmt.Fprintln(out, "f,p_emp,p_theory,hit_emp,hit_theory,ratio_emp,ratio_theory")
+	} else {
+		fmt.Fprintln(out, "f      p(emp)  p(thy)  p'(emp) p'(thy) ratio(emp) ratio(thy)")
+	}
+	for _, f := range []float64{1, 2, 3, 4} {
+		nPrime := int(float64(mPrime) / f)
+		res, err := sim.RunPrivacyEmpirical(nPrime, mPrime, opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Fprintf(out, "%.1f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+				f, res.NoiseEmp, res.NoiseThy, res.HitEmp, res.HitThy, res.RatioEmp, res.RatioThy)
+		} else {
+			fmt.Fprintf(out, "%-6.1f %.4f  %.4f  %.4f  %.4f  %-10.4f %.4f\n",
+				f, res.NoiseEmp, res.NoiseThy, res.HitEmp, res.HitThy, res.RatioEmp, res.RatioThy)
+		}
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func runScatter(out io.Writer, name string, f float64, opts sim.Options, csv bool) error {
+	left, err := sim.RunFigScatterPoint(5, opts)
+	if err != nil {
+		return err
+	}
+	right, err := sim.RunFigScatterP2P(5, opts)
+	if err != nil {
+		return err
+	}
+	for _, panel := range []struct {
+		title string
+		pts   []sim.ScatterPoint
+	}{
+		{name + " left (point persistent, t=5, f=" + fmt.Sprintf("%.0f", f) + ")", left},
+		{name + " right (point-to-point persistent, t=5, f=" + fmt.Sprintf("%.0f", f) + ")", right},
+	} {
+		fmt.Fprintf(out, "# %s: actual vs estimated\n", panel.title)
+		if csv {
+			fmt.Fprintln(out, "actual,estimated")
+			for _, p := range panel.pts {
+				fmt.Fprintf(out, "%.0f,%.1f\n", p.Actual, p.Estimated)
+			}
+			continue
+		}
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "actual\testimated")
+		for _, p := range panel.pts {
+			fmt.Fprintf(w, "%.0f\t%.1f\n", p.Actual, p.Estimated)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

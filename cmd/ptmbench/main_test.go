@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table II", "1.9462", "0.3935", "s=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig4Tiny(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig4", "-runs", "1", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4 (left plot)") || !strings.Contains(out, "Figure 4 (right plot)") {
+		t.Errorf("missing panels:\n%s", out[:200])
+	}
+	if strings.Count(out, "\n") < 100 {
+		t.Error("suspiciously short series output")
+	}
+}
+
+func TestRunScatterCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-scatter-runs", "1", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "actual,estimated") {
+		t.Error("missing CSV header")
+	}
+	if strings.Count(out, "\n") < 100 { // two panels x 50 points
+		t.Error("missing scatter rows")
+	}
+}
+
+func TestRunTable1Subset(t *testing.T) {
+	// Full Table I is slow; the tiny-runs path still exercises the whole
+	// pipeline including the same-size baseline.
+	if testing.Short() {
+		t.Skip("table1 is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-runs", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "m'/m", "same-size (t=5)", "451000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunPrivacyEmpiricalCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "privacy", "-runs", "2000", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "f,p_emp,p_theory") {
+		t.Error("missing CSV header")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nonsense"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

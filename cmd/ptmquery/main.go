@@ -1,0 +1,134 @@
+// Command ptmquery is the operator CLI for a running centrald:
+//
+//	ptmquery -central 127.0.0.1:7700 locations
+//	ptmquery -central 127.0.0.1:7700 periods -loc 1
+//	ptmquery -central 127.0.0.1:7700 volume -loc 1 -period 3
+//	ptmquery -central 127.0.0.1:7700 point -loc 1 -periods 1,2,3,4,5
+//	ptmquery -central 127.0.0.1:7700 p2p -loc 1 -loc2 2 -periods 1,2,3
+//
+// point and p2p report persistent traffic volumes (the number of vehicles
+// present in EVERY listed period); volume reports one period's plain
+// volume.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ptm/internal/record"
+	"ptm/internal/transport"
+	"ptm/internal/vhash"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ptmquery:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: ptmquery [-central addr] locations|periods|volume|point|p2p [flags]")
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("ptmquery", flag.ContinueOnError)
+	centralAddr := global.String("central", "127.0.0.1:7700", "central server address")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return usage()
+	}
+	verb, verbArgs := rest[0], rest[1:]
+
+	sub := flag.NewFlagSet(verb, flag.ContinueOnError)
+	loc := sub.Uint64("loc", 0, "location ID")
+	loc2 := sub.Uint64("loc2", 0, "second location ID (p2p)")
+	period := sub.Uint("period", 0, "single period (volume)")
+	periodsFlag := sub.String("periods", "", "comma-separated period list (point, p2p)")
+	if err := sub.Parse(verbArgs); err != nil {
+		return err
+	}
+
+	client, err := transport.Dial(*centralAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch verb {
+	case "locations":
+		locs, err := client.ListLocations()
+		if err != nil {
+			return err
+		}
+		if len(locs) == 0 {
+			fmt.Println("no records stored")
+			return nil
+		}
+		for _, l := range locs {
+			ps, err := client.ListPeriods(l)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("location %d: %d periods %v\n", l, len(ps), ps)
+		}
+	case "periods":
+		ps, err := client.ListPeriods(vhash.LocationID(*loc))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("location %d: %v\n", *loc, ps)
+	case "volume":
+		v, err := client.QueryVolume(vhash.LocationID(*loc), record.PeriodID(*period))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("volume at %d in period %d: %.0f vehicles\n", *loc, *period, v)
+	case "point":
+		ps, err := parsePeriods(*periodsFlag)
+		if err != nil {
+			return err
+		}
+		v, err := client.QueryPointPersistent(vhash.LocationID(*loc), ps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("persistent traffic at %d over periods %v: %.0f vehicles\n", *loc, ps, v)
+	case "p2p":
+		ps, err := parsePeriods(*periodsFlag)
+		if err != nil {
+			return err
+		}
+		v, err := client.QueryPointToPointPersistent(vhash.LocationID(*loc), vhash.LocationID(*loc2), ps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("persistent traffic between %d and %d over periods %v: %.0f vehicles\n", *loc, *loc2, ps, v)
+	default:
+		return usage()
+	}
+	return nil
+}
+
+func parsePeriods(s string) ([]record.PeriodID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -periods (e.g. -periods 1,2,3)")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]record.PeriodID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad period %q: %w", p, err)
+		}
+		out = append(out, record.PeriodID(n))
+	}
+	return out, nil
+}

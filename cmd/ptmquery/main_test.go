@@ -1,0 +1,82 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"ptm/internal/central"
+	"ptm/internal/record"
+	"ptm/internal/transport"
+)
+
+func TestParsePeriods(t *testing.T) {
+	got, err := parsePeriods("1,2, 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []record.PeriodID{1, 2, 5}
+	if len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Errorf("parsePeriods = %v", got)
+	}
+	if _, err := parsePeriods(""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := parsePeriods("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parsePeriods("-3"); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := record.New(4, 1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		rec.Bitmap.Set(i * 0x9e3779b97f4a7c15)
+	}
+	if err := store.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	addr := ln.Addr().String()
+	if err := run([]string{"-central", addr, "locations"}); err != nil {
+		t.Errorf("locations: %v", err)
+	}
+	if err := run([]string{"-central", addr, "volume", "-loc", "4", "-period", "1"}); err != nil {
+		t.Errorf("volume: %v", err)
+	}
+	if err := run([]string{"-central", addr, "periods", "-loc", "4"}); err != nil {
+		t.Errorf("periods: %v", err)
+	}
+	// Missing record -> remote error surfaces.
+	err = run([]string{"-central", addr, "volume", "-loc", "9", "-period", "1"})
+	if err == nil || !strings.Contains(err.Error(), "no record") {
+		t.Errorf("missing record err = %v", err)
+	}
+	// Unknown verb.
+	if err := run([]string{"-central", addr, "bogus"}); err == nil {
+		t.Error("unknown verb accepted")
+	}
+	// No verb.
+	if err := run([]string{"-central", addr}); err == nil {
+		t.Error("missing verb accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptm/internal/central"
+	"ptm/internal/record"
+	"ptm/internal/synth"
+)
+
+// writeSnapshot builds a two-location workload and saves it as a
+// centrald snapshot.
+func writeSnapshot(t *testing.T) string {
+	t.Helper()
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := synth.NewGenerator(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := g.Pair(synth.PairConfig{
+		LocA: 1, LocB: 2,
+		VolumesA: []int{4000, 4200, 4100, 4300},
+		VolumesB: []int{8000, 8200, 8100, 8300},
+		NCommon:  700,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(set *record.Set) {
+		for i, b := range set.Bitmaps() {
+			rec := &record.Record{Location: set.Location(), Period: set.Periods()[i], Bitmap: b}
+			if err := store.Ingest(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ingest(pair.SetA)
+	ingest(pair.SetB)
+
+	path := filepath.Join(t.TempDir(), "snap.ptm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReport(t *testing.T) {
+	snap := writeSnapshot(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-snapshot", snap, "-window", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"2 locations, 8 records",
+		"location 1 — 4 periods",
+		"location 2 — 4 periods",
+		"persistent core:",
+		"CI:",
+		"stability (window 3):",
+		"top persistent location pairs:",
+		"1 <-> 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+	if err := run([]string{"-snapshot", "/does/not/exist"}, &buf); err == nil {
+		t.Error("bad snapshot path accepted")
+	}
+	// Corrupt snapshot.
+	bad := filepath.Join(t.TempDir(), "bad.ptm")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-snapshot", bad}, &buf); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Command rsud simulates one road-side unit and its radio neighborhood:
+// per measurement period it beacons, collects reports from a synthetic
+// vehicle population (a persistent fleet plus per-period transients) over
+// a lossy DSRC channel, and uploads the resulting traffic record to
+// centrald.
+//
+//	rsud -central 127.0.0.1:7700 -loc 1 -periods 5 -fleet 500 -transients 3000
+//
+// The persistent fleet re-appears every period (the ground truth for point
+// persistent traffic, printed at exit); transients are fresh each period.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"ptm/internal/dsrc"
+	"ptm/internal/pki"
+	"ptm/internal/record"
+	"ptm/internal/rsu"
+	"ptm/internal/transport"
+	"ptm/internal/vehicle"
+	"ptm/internal/vhash"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rsud:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rsud", flag.ContinueOnError)
+	var (
+		centralAddr = fs.String("central", "127.0.0.1:7700", "central server address")
+		loc         = fs.Uint64("loc", 1, "RSU location ID")
+		periods     = fs.Int("periods", 5, "measurement periods to simulate")
+		fleet       = fs.Int("fleet", 500, "persistent fleet size (passes every period)")
+		transients  = fs.Int("transients", 3000, "fresh transient vehicles per period")
+		loss        = fs.Float64("loss", 0.0, "beacon loss probability")
+		beacons     = fs.Int("beacons", 10, "beacons per period (lossy channels need several)")
+		f           = fs.Float64("f", 2.0, "bitmap load factor (Eq. 2)")
+		s           = fs.Int("s", 3, "representative bits per vehicle")
+		seed        = fs.Uint64("seed", 1, "RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, fmt.Sprintf("rsud[%d]: ", *loc), log.LstdFlags)
+
+	now := time.Now()
+	authority, err := pki.NewAuthority(now, 365*24*time.Hour)
+	if err != nil {
+		return err
+	}
+	cred, err := authority.IssueRSU(vhash.LocationID(*loc), now, 365*24*time.Hour)
+	if err != nil {
+		return err
+	}
+	ch, err := dsrc.NewChannel(dsrc.Config{BeaconLoss: *loss, Seed: int64(*seed)})
+	if err != nil {
+		return err
+	}
+	unit, err := rsu.New(cred, ch, *f, nil)
+	if err != nil {
+		return err
+	}
+	client, err := transport.Dial(*centralAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	newVehicle := func(id vhash.VehicleID) (*vehicle.Vehicle, error) {
+		ident, err := vhash.NewSeededIdentity(id, *s, *seed)
+		if err != nil {
+			return nil, err
+		}
+		return vehicle.New(ident, authority.TrustAnchor(), int64(id), nil)
+	}
+	persistent := make([]*vehicle.Vehicle, *fleet)
+	for i := range persistent {
+		if persistent[i], err = newVehicle(vhash.VehicleID(i)); err != nil {
+			return err
+		}
+	}
+
+	nextTransient := vhash.VehicleID(1 << 32)
+	expected := float64(*fleet + *transients)
+	for p := 1; p <= *periods; p++ {
+		if err := unit.StartPeriod(record.PeriodID(p), expected); err != nil {
+			return err
+		}
+		var leaves []func()
+		join := func(v *vehicle.Vehicle) error {
+			leave, err := v.PassThrough(ch)
+			if err != nil {
+				return err
+			}
+			leaves = append(leaves, leave)
+			return nil
+		}
+		for _, v := range persistent {
+			if err := join(v); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < *transients; i++ {
+			tv, err := newVehicle(nextTransient)
+			if err != nil {
+				return err
+			}
+			nextTransient++
+			if err := join(tv); err != nil {
+				return err
+			}
+		}
+		for b := 0; b < *beacons; b++ {
+			if err := unit.Beacon(); err != nil {
+				return err
+			}
+		}
+		for _, leave := range leaves {
+			leave()
+		}
+		st := unit.Stats()
+		rec, err := unit.EndPeriod()
+		if err != nil {
+			return err
+		}
+		if err := client.Upload(rec); err != nil {
+			return fmt.Errorf("uploading period %d: %w", p, err)
+		}
+		logger.Printf("period %d: m=%d reports=%d ones=%.3f uploaded",
+			p, rec.Size(), st.ReportsSeen, rec.Bitmap.FractionOne())
+	}
+	chStats := ch.Stats()
+	logger.Printf("done: %d periods, beacon loss %d/%d, ground-truth persistent fleet = %d",
+		*periods, chStats.BeaconsLost, chStats.BeaconsSent, *fleet)
+	fmt.Fprintf(out, "location %d: uploaded %d periods; true persistent volume %d\n", *loc, *periods, *fleet)
+	return nil
+}

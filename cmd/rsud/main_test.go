@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"strings"
+	"testing"
+
+	"ptm/internal/central"
+	"ptm/internal/record"
+	"ptm/internal/transport"
+)
+
+func TestRSUDaemonEndToEnd(t *testing.T) {
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-central", ln.Addr().String(),
+		"-loc", "6",
+		"-periods", "3",
+		"-fleet", "150",
+		"-transients", "600",
+		"-loss", "0.3",
+		"-beacons", "15",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "uploaded 3 periods") {
+		t.Errorf("output: %s", buf.String())
+	}
+	// Records arrived and yield a sensible persistent estimate.
+	got, err := store.PointPersistent(6, []record.PeriodID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(got.Estimate-150) / 150; re > 0.35 {
+		t.Errorf("persistent estimate %v vs fleet 150 (rel err %.3f)", got.Estimate, re)
+	}
+}
+
+func TestRSUDaemonErrors(t *testing.T) {
+	var buf bytes.Buffer
+	// No server listening.
+	if err := run([]string{"-central", "127.0.0.1:1", "-periods", "1", "-fleet", "1", "-transients", "1"}, &buf); err == nil {
+		t.Error("dial failure not surfaced")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-f", "0"}, &buf); err == nil {
+		t.Error("f=0 accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Command trafficgen generates synthetic two-location workloads (the
+// Section VI-B model), uploads them to centrald, and optionally queries
+// the estimates back to compare against ground truth:
+//
+//	trafficgen -central 127.0.0.1:7700 -locA 1 -locB 2 -periods 5 -common 800 -query
+//
+// Alternatively -out DIR writes the records to per-period files instead of
+// uploading, for offline processing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ptm/internal/record"
+	"ptm/internal/synth"
+	"ptm/internal/transport"
+	"ptm/internal/vhash"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trafficgen", flag.ContinueOnError)
+	var (
+		centralAddr = fs.String("central", "", "central server address (empty with -out writes files only)")
+		outDir      = fs.String("out", "", "directory to write record files instead of uploading")
+		locA        = fs.Uint64("locA", 1, "first location ID")
+		locB        = fs.Uint64("locB", 2, "second location ID")
+		periods     = fs.Int("periods", 5, "measurement periods")
+		common      = fs.Int("common", 800, "vehicles passing both locations every period")
+		volMin      = fs.Int("vol-min", synth.DefaultVolumeMin, "per-period volume lower bound (exclusive)")
+		volMax      = fs.Int("vol-max", synth.DefaultVolumeMax, "per-period volume upper bound (inclusive)")
+		f           = fs.Float64("f", 2.0, "bitmap load factor")
+		s           = fs.Int("s", 3, "representative bits per vehicle")
+		seed        = fs.Uint64("seed", 1, "RNG seed")
+		query       = fs.Bool("query", false, "after uploading, query the estimates back")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *centralAddr == "" && *outDir == "" {
+		return fmt.Errorf("need -central and/or -out")
+	}
+
+	g, err := synth.NewGenerator(*seed, *s)
+	if err != nil {
+		return err
+	}
+	volsA, err := g.Volumes(*periods, *volMin, *volMax)
+	if err != nil {
+		return err
+	}
+	volsB, err := g.Volumes(*periods, *volMin, *volMax)
+	if err != nil {
+		return err
+	}
+	wl, err := g.Pair(synth.PairConfig{
+		LocA: vhash.LocationID(*locA), LocB: vhash.LocationID(*locB),
+		VolumesA: volsA, VolumesB: volsB,
+		NCommon: *common, F: *f,
+	})
+	if err != nil {
+		return err
+	}
+
+	var recs []*record.Record
+	collect := func(set *record.Set) {
+		for i, b := range set.Bitmaps() {
+			recs = append(recs, &record.Record{
+				Location: set.Location(),
+				Period:   set.Periods()[i],
+				Bitmap:   b,
+			})
+		}
+	}
+	collect(wl.SetA)
+	collect(wl.SetB)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			blob, err := rec.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			name := filepath.Join(*outDir, fmt.Sprintf("loc%d-period%d.rec", rec.Location, rec.Period))
+			if err := os.WriteFile(name, blob, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "wrote %d records to %s\n", len(recs), *outDir)
+	}
+
+	if *centralAddr != "" {
+		client, err := transport.Dial(*centralAddr, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		for _, rec := range recs {
+			if err := client.Upload(rec); err != nil {
+				return fmt.Errorf("uploading loc=%d period=%d: %w", rec.Location, rec.Period, err)
+			}
+		}
+		fmt.Fprintf(w, "uploaded %d records (locA=%d locB=%d, %d periods, true common=%d)\n",
+			len(recs), *locA, *locB, *periods, *common)
+
+		if *query {
+			ps := make([]record.PeriodID, *periods)
+			for i := range ps {
+				ps[i] = record.PeriodID(i + 1)
+			}
+			pp, err := client.QueryPointPersistent(vhash.LocationID(*locA), ps)
+			if err != nil {
+				return err
+			}
+			p2p, err := client.QueryPointToPointPersistent(vhash.LocationID(*locA), vhash.LocationID(*locB), ps)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "point persistent at %d:    estimated %.1f (true >= %d)\n", *locA, pp, *common)
+			fmt.Fprintf(w, "point-to-point persistent: estimated %.1f (true %d, rel err %.4f)\n",
+				p2p, *common, abs(p2p-float64(*common))/float64(*common))
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

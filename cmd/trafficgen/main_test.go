@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptm/internal/central"
+	"ptm/internal/record"
+	"ptm/internal/transport"
+)
+
+func startServer(t *testing.T) (*central.Server, string) {
+	t.Helper()
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return store, ln.Addr().String()
+}
+
+func TestGenerateToFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "records")
+	var buf bytes.Buffer
+	err := run([]string{"-out", dir, "-locA", "7", "-locB", "8", "-periods", "3", "-common", "200"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 6 records") {
+		t.Errorf("output: %s", buf.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("files = %d, want 6", len(entries))
+	}
+	// Files are valid records.
+	blob, err := os.ReadFile(filepath.Join(dir, "loc7-period1.rec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := record.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Location != 7 || rec.Period != 1 {
+		t.Errorf("record header = %v", rec)
+	}
+}
+
+func TestGenerateUploadAndQuery(t *testing.T) {
+	store, addr := startServer(t)
+	var buf bytes.Buffer
+	err := run([]string{"-central", addr, "-locA", "1", "-locB", "2", "-periods", "4", "-common", "500", "-query"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "uploaded 8 records") {
+		t.Errorf("output: %s", out)
+	}
+	if !strings.Contains(out, "point-to-point persistent: estimated") {
+		t.Errorf("missing query output: %s", out)
+	}
+	if got := len(store.Locations()); got != 2 {
+		t.Errorf("stored locations = %d", got)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no -central/-out accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-common", "99999"}, &buf); err == nil {
+		t.Error("common > volumes accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

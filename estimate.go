@@ -1,0 +1,130 @@
+package ptm
+
+import (
+	"ptm/internal/core"
+	"ptm/internal/record"
+)
+
+// PointEstimate is the result of a point persistent traffic estimation
+// (paper Eq. 12), including the intermediate quantities for diagnostics.
+type PointEstimate = core.PointResult
+
+// PointToPointEstimate is the result of a point-to-point persistent
+// traffic estimation (paper Eq. 21).
+type PointToPointEstimate = core.PointToPointResult
+
+// Estimation failure modes callers may want to test with errors.Is.
+var (
+	// ErrTooFewPeriods: persistent estimation needs at least 2 records.
+	ErrTooFewPeriods = core.ErrTooFewPeriods
+	// ErrSaturated: a joined bitmap ran out of zero bits; raise F.
+	ErrSaturated = core.ErrSaturated
+	// ErrDegenerate: measured fractions outside the estimator's domain.
+	ErrDegenerate = core.ErrDegenerate
+)
+
+// EstimatePoint estimates the point persistent traffic volume — the
+// number of vehicles that passed the records' location in every period —
+// from one location's records (one per period, any power-of-two sizes).
+func EstimatePoint(recs []*Record) (*PointEstimate, error) {
+	set, err := newSet(recs)
+	if err != nil {
+		return nil, err
+	}
+	return core.EstimatePoint(set)
+}
+
+// EstimatePointBaseline is the naive benchmark the paper compares against
+// in Fig. 4: plain linear counting on the AND of all records. Exposed so
+// downstream evaluations can reproduce the comparison.
+func EstimatePointBaseline(recs []*Record) (float64, error) {
+	set, err := newSet(recs)
+	if err != nil {
+		return 0, err
+	}
+	return core.EstimatePointBaseline(set)
+}
+
+// EstimatePointToPoint estimates the point-to-point persistent traffic
+// volume — the number of vehicles that passed both locations in every
+// period — from the two locations' aligned record sets. s must match the
+// representative-bit count the vehicles used (DefaultS unless deployed
+// otherwise).
+func EstimatePointToPoint(recsA, recsB []*Record, s int) (*PointToPointEstimate, error) {
+	setA, err := newSet(recsA)
+	if err != nil {
+		return nil, err
+	}
+	setB, err := newSet(recsB)
+	if err != nil {
+		return nil, err
+	}
+	return core.EstimatePointToPoint(setA, setB, s)
+}
+
+// KWayEstimate is the result of the k-subset generalization of the point
+// persistent estimator (an extension; Section III-B of the paper notes
+// the possibility and adopts k=2).
+type KWayEstimate = core.KWayResult
+
+// EstimatePointKWay generalizes EstimatePoint to k subsets of Π
+// (2 <= k <= number of periods), inverting the joint occupancy model
+// numerically. For k=2 it agrees with EstimatePoint's closed form.
+func EstimatePointKWay(recs []*Record, k int) (*KWayEstimate, error) {
+	set, err := newSet(recs)
+	if err != nil {
+		return nil, err
+	}
+	return core.EstimatePointKWay(set, k)
+}
+
+// EstimateVolume estimates a single record's plain (per-period) traffic
+// volume with linear probabilistic counting (paper Eq. 1).
+func EstimateVolume(rec *Record) (float64, error) {
+	return core.EstimateVolume(rec)
+}
+
+// EstimateODVolume estimates the number of vehicles that passed both
+// locations during one measurement period (the non-persistent
+// point-to-point problem of the paper's prior work), from the two
+// locations' records for that same period.
+func EstimateODVolume(recL, recLPrime *Record, s int) (*PointToPointEstimate, error) {
+	return core.EstimateODVolume(recL, recLPrime, s)
+}
+
+// MultiPointBound is an upper bound on persistent traffic through three
+// or more locations.
+type MultiPointBound = core.MultiPointResult
+
+// EstimateMultiPointUpperBound bounds the number of vehicles passing ALL
+// of the given locations in every period by the minimum pairwise
+// point-to-point persistent estimate. recsPerLocation holds one record
+// slice per location, all covering the same periods.
+func EstimateMultiPointUpperBound(recsPerLocation [][]*Record, s int) (*MultiPointBound, error) {
+	sets := make([]*record.Set, len(recsPerLocation))
+	for i, recs := range recsPerLocation {
+		set, err := newSet(recs)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = set
+	}
+	return core.EstimateMultiPointUpperBound(sets, s)
+}
+
+// Interval is a bootstrap confidence interval for an estimate.
+type Interval = core.Interval
+
+// PointConfidence returns a parametric-bootstrap confidence interval for
+// a point persistent estimate. level is the nominal coverage (e.g. 0.95);
+// replicates <= 0 selects a sensible default; seed makes the interval
+// reproducible.
+func PointConfidence(res *PointEstimate, level float64, replicates int, seed int64) (Interval, error) {
+	return core.PointConfidence(res, level, replicates, seed)
+}
+
+// PointToPointConfidence returns a parametric-bootstrap confidence
+// interval for a point-to-point persistent estimate.
+func PointToPointConfidence(res *PointToPointEstimate, level float64, replicates int, seed int64) (Interval, error) {
+	return core.PointToPointConfidence(res, level, replicates, seed)
+}

@@ -1,0 +1,92 @@
+// Odmatrix: reconstruct origin–destination volumes from one day of
+// privacy-preserving records.
+//
+// Every trip in the Sioux Falls table sends one vehicle past its origin
+// and destination RSUs. Each of the 24 zone RSUs keeps only its bitmap
+// record; afterwards the single-period point-to-point estimator recovers
+// the pairwise OD volumes — the input transportation engineers feed into
+// congestion-source analysis — without any vehicle ever being identified.
+//
+// Run with: go run ./examples/odmatrix
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ptm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	table := ptm.SiouxFalls()
+	const day = ptm.PeriodID(1)
+
+	// One RecordBuilder per zone, sized from the zone's daily volume.
+	builders := make(map[ptm.Zone]*ptm.RecordBuilder, 24)
+	for z := ptm.Zone(1); z <= 24; z++ {
+		vol, err := table.Volume(z)
+		if err != nil {
+			return err
+		}
+		b, err := ptm.NewRecordBuilder(ptm.LocationID(z), day, vol, ptm.DefaultF)
+		if err != nil {
+			return err
+		}
+		builders[z] = b
+	}
+
+	// Drive the trip table: v_ij vehicles pass zones i and j.
+	var nextID ptm.VehicleID
+	for i := ptm.Zone(1); i <= 24; i++ {
+		for j := ptm.Zone(1); j <= 24; j++ {
+			vol, err := table.OD(i, j)
+			if err != nil {
+				return err
+			}
+			for k := 0; k < int(vol); k++ {
+				v, err := ptm.NewSeededVehicleIdentity(nextID, ptm.DefaultS, 2027)
+				if err != nil {
+					return err
+				}
+				nextID++
+				builders[i].Observe(v)
+				builders[j].Observe(v)
+			}
+		}
+	}
+	records := make(map[ptm.Zone]*ptm.Record, 24)
+	for z, b := range builders {
+		records[z] = b.Finish()
+	}
+	fmt.Printf("encoded %d vehicle trips into 24 records\n\n", nextID)
+
+	// Reconstruct the Table I pairs: each zone against the busiest zone.
+	lPrime := ptm.SiouxFallsLPrime
+	fmt.Println("pair        true OD   estimated   rel err")
+	var worst float64
+	for _, z := range []ptm.Zone{1, 2, 3, 4, 5, 6, 7, 8} {
+		truth, err := table.PairVolume(z, lPrime)
+		if err != nil {
+			return err
+		}
+		est, err := ptm.EstimateODVolume(records[z], records[lPrime], ptm.DefaultS)
+		if err != nil {
+			return err
+		}
+		re := math.Abs(est.Estimate-truth) / truth
+		worst = math.Max(worst, re)
+		fmt.Printf("%2d <-> %2d  %8.0f   %9.0f   %.4f\n", z, lPrime, truth, est.Estimate, re)
+	}
+	fmt.Printf("\nworst relative error: %.4f\n", worst)
+	fmt.Println("\nsmall pairs are noisy at t=1 — the s*m' factor amplifies V0'' sampling")
+	fmt.Println("noise. This is exactly why the paper joins multiple periods: see")
+	fmt.Println("examples/siouxfalls, where the same smallest pair reaches ~5% at t=5.")
+	return nil
+}

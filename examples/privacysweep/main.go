@@ -1,0 +1,96 @@
+// Privacysweep: explore the accuracy–privacy tradeoff.
+//
+// The deployment parameters f (bitmap load factor) and s (representative
+// bits per vehicle) pull in opposite directions: larger f means less bit
+// mixing, hence better estimates but easier tracking; larger s means a
+// vehicle looks different at more locations, hence better privacy but
+// noisier point-to-point estimates. This example measures both sides for
+// each parameter point — the reasoning behind the paper's Table II and its
+// f=2, s=3 recommendation.
+//
+// Run with: go run ./examples/privacysweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"ptm"
+)
+
+const (
+	days    = 5
+	trials  = 8
+	common  = 600
+	perSide = 5000 // per-period volume at each of the two locations
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "f\ts\tnoise/info ratio\tnoise p\tmean rel err (p2p)")
+	for _, f := range []float64{1.5, 2, 3} {
+		for _, s := range []int{2, 3, 5} {
+			prof, err := ptm.EvaluatePrivacy(f, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			re := measureAccuracy(f, s)
+			marker := ""
+			if f == 2 && s == 3 {
+				marker = "  <- paper's recommendation"
+			}
+			fmt.Fprintf(w, "%.1f\t%d\t%.3f\t%.3f\t%.4f%s\n", f, s, prof.Ratio, prof.Noise, re, marker)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nratio > 1 means tracking evidence from the records is mostly noise;")
+	fmt.Println("rel err is the accuracy cost of that protection.")
+}
+
+// measureAccuracy runs a small point-to-point simulation at (f, s) and
+// returns the mean relative error.
+func measureAccuracy(f float64, s int) float64 {
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000*f) + int64(s*100+trial)))
+		commonFleet := make([]*ptm.VehicleIdentity, common)
+		for i := range commonFleet {
+			v, err := ptm.NewSeededVehicleIdentity(ptm.VehicleID(trial*1_000_000+i), s, uint64(s)<<16|uint64(f*8))
+			if err != nil {
+				log.Fatal(err)
+			}
+			commonFleet[i] = v
+		}
+		build := func(loc ptm.LocationID) []*ptm.Record {
+			recs := make([]*ptm.Record, days)
+			for day := 1; day <= days; day++ {
+				b, err := ptm.NewRecordBuilder(loc, ptm.PeriodID(day), perSide, f)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for _, v := range commonFleet {
+					b.Observe(v)
+				}
+				for i := 0; i < perSide-common; i++ {
+					b.ObserveIndex(rng.Uint64())
+				}
+				recs[day-1] = b.Finish()
+			}
+			return recs
+		}
+		recsA := build(1)
+		recsB := build(2)
+		est, err := ptm.EstimatePointToPoint(recsA, recsB, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum += math.Abs(est.Estimate-common) / common
+	}
+	return sum / trials
+}

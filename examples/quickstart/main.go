@@ -1,0 +1,86 @@
+// Quickstart: measure the persistent traffic at one intersection.
+//
+// A city wants to know how much of the traffic at intersection 17 is the
+// same core commuter population versus one-off pass-throughs. Each day the
+// RSU encodes passing vehicles into a privacy-preserving bitmap record; the
+// records are then joined to estimate how many vehicles appeared on ALL
+// days.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ptm"
+)
+
+func main() {
+	const (
+		intersection = ptm.LocationID(17)
+		days         = 5
+		commuters    = 1200 // drive through every day (ground truth)
+		dailyExtra   = 6000 // transient vehicles per day
+	)
+
+	// The commuter fleet: each vehicle holds private secrets; only bit
+	// indices derived from them are ever transmitted.
+	fleet := make([]*ptm.VehicleIdentity, commuters)
+	for i := range fleet {
+		v, err := ptm.NewSeededVehicleIdentity(ptm.VehicleID(i), ptm.DefaultS, 2026)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleet[i] = v
+	}
+
+	// One record per day, sized by the expected volume (Eq. 2).
+	rng := rand.New(rand.NewSource(7))
+	records := make([]*ptm.Record, days)
+	for day := 1; day <= days; day++ {
+		b, err := ptm.NewRecordBuilder(intersection, ptm.PeriodID(day), commuters+dailyExtra, ptm.DefaultF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range fleet {
+			b.Observe(v) // commuter sets its location-specific bit
+		}
+		for i := 0; i < dailyExtra; i++ {
+			b.ObserveIndex(rng.Uint64()) // transients: fresh vehicles, uniform bits
+		}
+		records[day-1] = b.Finish()
+	}
+
+	// Per-day volume (plain linear counting, Eq. 1).
+	vol, err := ptm.EstimateVolume(records[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 1 volume estimate:     %8.0f (true %d)\n", vol, commuters+dailyExtra)
+
+	// Persistent traffic across all days (the paper's Eq. 12).
+	est, err := ptm.EstimatePoint(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persistent traffic:        %8.0f (true %d)\n", est.Estimate, commuters)
+
+	// The naive alternative (linear counting on the AND of all records)
+	// badly overcounts — transient hash collisions masquerade as
+	// persistent vehicles.
+	naive, err := ptm.EstimatePointBaseline(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive AND estimate:        %8.0f (overcounts)\n", naive)
+
+	// What privacy does this deployment preserve?
+	prof, err := ptm.EvaluatePrivacy(ptm.DefaultF, ptm.DefaultS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("noise-to-information ratio: %.2f (tracking evidence is %.0f%% noise)\n",
+		prof.Ratio, 100*prof.Noise/(prof.Noise+prof.Info))
+}

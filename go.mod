@@ -1,0 +1,3 @@
+module ptm
+
+go 1.22

@@ -1,0 +1,140 @@
+// Package aadt computes Annual Average Daily Traffic, the measurement the
+// paper's introduction motivates: per-period volumes estimated from
+// privacy-preserving traffic records (Eq. 1) feed AADT computation exactly
+// as classic loop-detector counts do.
+//
+// Two methods are provided, following the practice codified in the USDOT
+// Traffic Monitoring Guide the paper cites:
+//
+//   - Average: the plain mean over a (near-)complete year of daily
+//     volumes, the definition of AADT.
+//   - Short-count expansion: fit month and day-of-week adjustment factors
+//     on a historical year, then expand a handful of short counts
+//     (e.g. one week of coverage from a portable RSU) into an AADT
+//     estimate.
+package aadt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sample is one day's traffic volume at a location.
+type Sample struct {
+	Date   time.Time
+	Volume float64
+}
+
+// Errors.
+var (
+	ErrNoSamples    = errors.New("aadt: no samples")
+	ErrBadVolume    = errors.New("aadt: negative volume")
+	ErrCoverage     = errors.New("aadt: history does not cover every month and weekday")
+	ErrLowCoverage  = errors.New("aadt: too few days for a plain AADT average")
+	ErrZeroBaseline = errors.New("aadt: zero traffic in a factor bucket")
+)
+
+// MinAnnualCoverage is the minimum number of daily samples Average
+// accepts as "annual" coverage. The TMG tolerates missing days; 300 keeps
+// honest gaps while rejecting short counts passed by mistake.
+const MinAnnualCoverage = 300
+
+// Average computes AADT as the mean of a (near-)complete year of daily
+// volumes.
+func Average(samples []Sample) (float64, error) {
+	if len(samples) < MinAnnualCoverage {
+		return 0, fmt.Errorf("%w: %d days (need >= %d)", ErrLowCoverage, len(samples), MinAnnualCoverage)
+	}
+	return mean(samples)
+}
+
+func mean(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	sum := 0.0
+	for _, s := range samples {
+		if s.Volume < 0 {
+			return 0, fmt.Errorf("%w: %v on %s", ErrBadVolume, s.Volume, s.Date.Format("2006-01-02"))
+		}
+		sum += s.Volume
+	}
+	return sum / float64(len(samples)), nil
+}
+
+// Factors holds multiplicative adjustment factors: expanding a daily count
+// to AADT multiplies by the factor of its month and of its weekday.
+type Factors struct {
+	Month   [12]float64 // index time.Month-1
+	Weekday [7]float64  // index time.Weekday
+}
+
+// FitFactors derives adjustment factors from a historical year of daily
+// volumes at a comparable location: factor = AADT / mean(volume in
+// bucket). The history must include at least one sample in every month
+// and every weekday.
+func FitFactors(history []Sample) (*Factors, error) {
+	grand, err := mean(history)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		monthSum, weekdaySum     [12]float64
+		monthCount, weekdayCount [12]int // weekday uses [0,7)
+	)
+	for _, s := range history {
+		m := int(s.Date.Month()) - 1
+		w := int(s.Date.Weekday())
+		monthSum[m] += s.Volume
+		monthCount[m]++
+		weekdaySum[w] += s.Volume
+		weekdayCount[w]++
+	}
+	f := &Factors{}
+	for m := 0; m < 12; m++ {
+		if monthCount[m] == 0 {
+			return nil, fmt.Errorf("%w: month %s missing", ErrCoverage, time.Month(m+1))
+		}
+		avg := monthSum[m] / float64(monthCount[m])
+		if avg == 0 {
+			return nil, fmt.Errorf("%w: month %s", ErrZeroBaseline, time.Month(m+1))
+		}
+		f.Month[m] = grand / avg
+	}
+	for w := 0; w < 7; w++ {
+		if weekdayCount[w] == 0 {
+			return nil, fmt.Errorf("%w: %s missing", ErrCoverage, time.Weekday(w))
+		}
+		avg := weekdaySum[w] / float64(weekdayCount[w])
+		if avg == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrZeroBaseline, time.Weekday(w))
+		}
+		f.Weekday[w] = grand / avg
+	}
+	return f, nil
+}
+
+// Adjust expands one short count to an AADT estimate.
+func (f *Factors) Adjust(s Sample) float64 {
+	return s.Volume * f.Month[int(s.Date.Month())-1] * f.Weekday[int(s.Date.Weekday())]
+}
+
+// EstimateFromShortCounts expands each short count and returns the mean —
+// the TMG's AADT estimate from a portable-counter visit.
+func EstimateFromShortCounts(samples []Sample, f *Factors) (float64, error) {
+	if f == nil {
+		return 0, errors.New("aadt: nil factors")
+	}
+	if len(samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	sum := 0.0
+	for _, s := range samples {
+		if s.Volume < 0 {
+			return 0, fmt.Errorf("%w: %v on %s", ErrBadVolume, s.Volume, s.Date.Format("2006-01-02"))
+		}
+		sum += f.Adjust(s)
+	}
+	return sum / float64(len(samples)), nil
+}

@@ -1,0 +1,141 @@
+package aadt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// syntheticYear generates a year of daily volumes with multiplicative
+// month and weekday structure around the given base.
+func syntheticYear(year int, base float64, rng *rand.Rand) []Sample {
+	monthMult := []float64{0.85, 0.87, 0.95, 1.0, 1.05, 1.12, 1.2, 1.18, 1.05, 1.0, 0.9, 0.83}
+	dowMult := []float64{0.8, 1.05, 1.08, 1.08, 1.1, 1.12, 0.9} // Sun..Sat
+	var out []Sample
+	d := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
+	for d.Year() == year {
+		v := base * monthMult[d.Month()-1] * dowMult[d.Weekday()]
+		if rng != nil {
+			v *= 1 + 0.03*rng.NormFloat64()
+		}
+		out = append(out, Sample{Date: d, Volume: v})
+		d = d.AddDate(0, 0, 1)
+	}
+	return out
+}
+
+func TestAverage(t *testing.T) {
+	year := syntheticYear(2025, 10000, nil)
+	got, err := Average(year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean of the multiplicative pattern is close to base since the
+	// multipliers average near 1.
+	if got < 9500 || got > 10500 {
+		t.Errorf("AADT = %v, want ~10000", got)
+	}
+	if _, err := Average(year[:100]); !errors.Is(err, ErrLowCoverage) {
+		t.Errorf("short coverage err = %v", err)
+	}
+	bad := append([]Sample{}, year...)
+	bad[5].Volume = -1
+	if _, err := Average(bad); !errors.Is(err, ErrBadVolume) {
+		t.Errorf("negative volume err = %v", err)
+	}
+}
+
+func TestFitFactorsRecoverPattern(t *testing.T) {
+	year := syntheticYear(2025, 10000, nil)
+	f, err := FitFactors(year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// July (index 6) is the busiest month -> factor < 1; January the
+	// quietest -> factor > 1.
+	if f.Month[6] >= 1 {
+		t.Errorf("July factor = %v, want < 1", f.Month[6])
+	}
+	if f.Month[0] <= 1 {
+		t.Errorf("January factor = %v, want > 1", f.Month[0])
+	}
+	if f.Weekday[time.Sunday] <= 1 {
+		t.Errorf("Sunday factor = %v, want > 1", f.Weekday[time.Sunday])
+	}
+	if f.Weekday[time.Friday] >= 1 {
+		t.Errorf("Friday factor = %v, want < 1", f.Weekday[time.Friday])
+	}
+}
+
+func TestShortCountExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	history := syntheticYear(2024, 10000, rng)
+	f, err := FitFactors(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueAADT, err := Average(syntheticYear(2025, 10000, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One week of short counts in deep winter — raw counts would badly
+	// underestimate AADT; factor expansion fixes it.
+	next := syntheticYear(2025, 10000, rng)
+	week := next[14:21] // mid-January
+	raw, err := mean(week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := EstimateFromShortCounts(week, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawErr := math.Abs(raw-trueAADT) / trueAADT
+	expErr := math.Abs(expanded-trueAADT) / trueAADT
+	if expErr > 0.05 {
+		t.Errorf("expanded AADT %v vs true %v (rel err %.3f)", expanded, trueAADT, expErr)
+	}
+	if expErr >= rawErr {
+		t.Errorf("expansion (%.3f) no better than raw winter mean (%.3f)", expErr, rawErr)
+	}
+}
+
+func TestFitFactorsCoverageErrors(t *testing.T) {
+	if _, err := FitFactors(nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty err = %v", err)
+	}
+	// Only January: missing months.
+	jan := syntheticYear(2025, 10000, nil)[:31]
+	if _, err := FitFactors(jan); !errors.Is(err, ErrCoverage) {
+		t.Errorf("partial coverage err = %v", err)
+	}
+	// All-zero volumes: factor denominators vanish.
+	year := syntheticYear(2025, 10000, nil)
+	for i := range year {
+		year[i].Volume = 0
+	}
+	if _, err := FitFactors(year); !errors.Is(err, ErrZeroBaseline) {
+		t.Errorf("zero baseline err = %v", err)
+	}
+}
+
+func TestEstimateFromShortCountsErrors(t *testing.T) {
+	year := syntheticYear(2025, 10000, nil)
+	f, err := FitFactors(year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateFromShortCounts(nil, f); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := EstimateFromShortCounts(year[:3], nil); err == nil {
+		t.Error("nil factors accepted")
+	}
+	bad := []Sample{{Date: year[0].Date, Volume: -5}}
+	if _, err := EstimateFromShortCounts(bad, f); !errors.Is(err, ErrBadVolume) {
+		t.Errorf("negative err = %v", err)
+	}
+}

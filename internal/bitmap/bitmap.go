@@ -1,0 +1,293 @@
+// Package bitmap implements the word-packed bit vectors that serve as the
+// paper's "traffic records" (Section II-D) and the join operations used by
+// the persistent-traffic estimators (Sections III-A and IV-A).
+//
+// A Bitmap always has a power-of-two length so that the replication-based
+// expansion of Section III-A is well defined: a record of l bits is expanded
+// to m >= l bits (both powers of two) by repeating it m/l times, which
+// preserves the invariant that bit (h mod m) of the expansion equals bit
+// (h mod l) of the original for every 64-bit hash value h.
+package bitmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+)
+
+// MaxBits caps the size of a single bitmap. 2^30 bits = 128 MiB, far above
+// any per-RSU record the paper contemplates (m is a few times the period's
+// traffic volume), while keeping accidental misuse from exhausting memory.
+const MaxBits = 1 << 30
+
+const wordBits = 64
+
+// Common errors returned by this package.
+var (
+	ErrSizeNotPowerOfTwo = errors.New("bitmap: size must be a power of two")
+	ErrSizeOutOfRange    = errors.New("bitmap: size out of range")
+	ErrSizeMismatch      = errors.New("bitmap: operand sizes differ")
+	ErrShrink            = errors.New("bitmap: cannot expand to a smaller size")
+	ErrCorrupt           = errors.New("bitmap: corrupt serialized data")
+)
+
+// Bitmap is a fixed-size bit vector with a power-of-two number of bits.
+// The zero value is not usable; construct with New or Unmarshal.
+type Bitmap struct {
+	words []uint64
+	nbits int
+}
+
+// New returns an all-zero bitmap with n bits. n must be a power of two in
+// [64, MaxBits]. (Sizes below one machine word would be statistically
+// useless for counting and complicate word-level joins for no benefit.)
+func New(n int) (*Bitmap, error) {
+	if n < wordBits || n > MaxBits {
+		return nil, fmt.Errorf("%w: %d not in [%d, %d]", ErrSizeOutOfRange, n, wordBits, MaxBits)
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrSizeNotPowerOfTwo, n)
+	}
+	return &Bitmap{words: make([]uint64, n/wordBits), nbits: n}, nil
+}
+
+// MustNew is New for sizes known to be valid at compile time; it panics on
+// error and is intended for tests and internal constants.
+func MustNew(n int) *Bitmap {
+	b, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Size returns the number of bits.
+func (b *Bitmap) Size() int { return b.nbits }
+
+// Words returns the number of 64-bit words backing the bitmap.
+func (b *Bitmap) Words() int { return len(b.words) }
+
+// Set sets bit i to one. Callers index with a hash value already reduced
+// modulo Size; Set reduces again defensively so a hostile or buggy report
+// cannot write out of range.
+func (b *Bitmap) Set(i uint64) {
+	i &= uint64(b.nbits - 1) // nbits is a power of two
+	b.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Get reports whether bit i is one. Indexes are reduced modulo Size.
+func (b *Bitmap) Get(i uint64) bool {
+	i &= uint64(b.nbits - 1)
+	return b.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Reset clears every bit, making the bitmap ready for a new measurement
+// period (Section II-D: "At the beginning of each measurement period, the
+// bits in B are reset to zeros").
+func (b *Bitmap) Reset() {
+	clear(b.words)
+}
+
+// Ones returns the number of one bits.
+func (b *Bitmap) Ones() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Zeros returns the number of zero bits.
+func (b *Bitmap) Zeros() int { return b.nbits - b.Ones() }
+
+// FractionZero returns V0, the fraction of bits that are zero, as used by
+// the linear-counting estimator of Eq. (1).
+func (b *Bitmap) FractionZero() float64 {
+	return float64(b.Zeros()) / float64(b.nbits)
+}
+
+// FractionOne returns V1, the fraction of bits that are one (Eq. 8).
+func (b *Bitmap) FractionOne() float64 {
+	return float64(b.Ones()) / float64(b.nbits)
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitmap{words: w, nbits: b.nbits}
+}
+
+// Equal reports whether two bitmaps have the same size and contents.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if o == nil || b.nbits != o.nbits {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// And sets b to the bitwise AND of b and o. The sizes must match; expand
+// the smaller operand first (Section III-A).
+func (b *Bitmap) And(o *Bitmap) error {
+	if b.nbits != o.nbits {
+		return fmt.Errorf("%w: %d vs %d", ErrSizeMismatch, b.nbits, o.nbits)
+	}
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+	return nil
+}
+
+// Or sets b to the bitwise OR of b and o. The sizes must match. OR is the
+// second-level join of the point-to-point estimator (Section IV-A).
+func (b *Bitmap) Or(o *Bitmap) error {
+	if b.nbits != o.nbits {
+		return fmt.Errorf("%w: %d vs %d", ErrSizeMismatch, b.nbits, o.nbits)
+	}
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+	return nil
+}
+
+// ExpandTo returns the bitmap replicated to n bits (Section III-A,
+// Figure 2): the l-bit contents are repeated n/l times. n must be a
+// power of two >= Size. When n == Size the receiver itself is returned,
+// matching the paper's "if l_j = m then E_j is simply B_j"; callers that
+// mutate the result must Clone first.
+func (b *Bitmap) ExpandTo(n int) (*Bitmap, error) {
+	if n == b.nbits {
+		return b, nil
+	}
+	if n < b.nbits {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrShrink, b.nbits, n)
+	}
+	e, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for off := 0; off < len(e.words); off += len(b.words) {
+		copy(e.words[off:off+len(b.words)], b.words)
+	}
+	return e, nil
+}
+
+// AndAll AND-joins the given bitmaps after expanding each to the largest
+// size present (the Π -> E* pipeline of Section III-A) and returns the
+// result as a fresh bitmap. It requires at least one operand.
+func AndAll(ms []*Bitmap) (*Bitmap, error) {
+	return joinAll(ms, (*Bitmap).And)
+}
+
+// OrAll OR-joins the given bitmaps after expanding each to the largest size
+// present. It requires at least one operand.
+func OrAll(ms []*Bitmap) (*Bitmap, error) {
+	return joinAll(ms, (*Bitmap).Or)
+}
+
+func joinAll(ms []*Bitmap, op func(*Bitmap, *Bitmap) error) (*Bitmap, error) {
+	if len(ms) == 0 {
+		return nil, errors.New("bitmap: join of zero bitmaps")
+	}
+	m := 0
+	for _, b := range ms {
+		if b.Size() > m {
+			m = b.Size()
+		}
+	}
+	first, err := ms[0].ExpandTo(m)
+	if err != nil {
+		return nil, err
+	}
+	out := first.Clone()
+	for _, b := range ms[1:] {
+		e, err := b.ExpandTo(m)
+		if err != nil {
+			return nil, err
+		}
+		if err := op(out, e); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String summarizes the bitmap for debugging.
+func (b *Bitmap) String() string {
+	return fmt.Sprintf("bitmap{bits=%d ones=%d}", b.nbits, b.Ones())
+}
+
+// Serialized layout (little endian):
+//
+//	magic   uint32  "PTMB"
+//	version uint8   1
+//	_       [3]byte reserved, zero
+//	nbits   uint32
+//	words   nbits/8 bytes
+//	crc32   uint32  IEEE, over everything above
+const (
+	marshalMagic   = 0x504d5442 // "PTMB" read as little-endian uint32 of 'B','T','M','P'
+	marshalVersion = 1
+	headerLen      = 4 + 1 + 3 + 4
+)
+
+// MarshalBinary serializes the bitmap with a CRC32 trailer so that records
+// damaged in transit or storage are rejected rather than silently skewing
+// the estimators.
+func (b *Bitmap) MarshalBinary() ([]byte, error) {
+	out := make([]byte, headerLen+len(b.words)*8+4)
+	binary.LittleEndian.PutUint32(out[0:4], marshalMagic)
+	out[4] = marshalVersion
+	binary.LittleEndian.PutUint32(out[8:12], uint32(b.nbits))
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(out[headerLen+i*8:], w)
+	}
+	sum := crc32.ChecksumIEEE(out[:len(out)-4])
+	binary.LittleEndian.PutUint32(out[len(out)-4:], sum)
+	return out, nil
+}
+
+// Unmarshal parses a bitmap serialized by MarshalBinary, verifying the
+// magic, version, size constraints, and checksum.
+func Unmarshal(data []byte) (*Bitmap, error) {
+	if len(data) < headerLen+4 {
+		return nil, fmt.Errorf("%w: short buffer (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != marshalMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != marshalVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, data[4])
+	}
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("%w: nonzero reserved bytes", ErrCorrupt)
+	}
+	nbits := int(binary.LittleEndian.Uint32(data[8:12]))
+	if nbits < wordBits || nbits > MaxBits || nbits&(nbits-1) != 0 {
+		return nil, fmt.Errorf("%w: invalid size %d", ErrCorrupt, nbits)
+	}
+	want := headerLen + nbits/8 + 4
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(data), want)
+	}
+	body := data[:len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	b, err := New(nbits)
+	if err != nil {
+		return nil, err
+	}
+	for i := range b.words {
+		b.words[i] = binary.LittleEndian.Uint64(data[headerLen+i*8:])
+	}
+	return b, nil
+}

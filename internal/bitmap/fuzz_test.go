@@ -1,0 +1,37 @@
+package bitmap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the record parser against hostile or corrupted
+// uploads: it must never panic, and anything it accepts must round-trip.
+func FuzzUnmarshal(f *testing.F) {
+	b := MustNew(128)
+	b.Set(3)
+	b.Set(77)
+	good, err := b.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0x54, 0x4d, 0x50})
+	truncated := good[:len(good)-2]
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted bitmap failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted bitmap does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,297 @@
+// Package central implements the central server of Section II-A: it
+// collects the traffic records uploaded by all RSUs at period end, stores
+// them by (location, period), and answers the authority's queries — plain
+// per-period volume (Eq. 1), point persistent traffic (Eq. 12), and
+// point-to-point persistent traffic (Eq. 21). Because records are
+// privacy-preserving bitmaps, the server never holds per-vehicle data.
+package central
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"ptm/internal/core"
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Errors.
+var (
+	ErrDuplicate = errors.New("central: record for this location and period already stored")
+	ErrNotFound  = errors.New("central: no record for requested location/period")
+	ErrNoPeriods = errors.New("central: query names no periods")
+)
+
+// Server is the in-memory record store and query engine. The zero value
+// is not usable; construct with NewServer.
+type Server struct {
+	mu sync.RWMutex
+	// byLoc[loc][period] holds the stored records.
+	byLoc map[vhash.LocationID]map[record.PeriodID]*record.Record
+	s     int // system-wide representative-bit count, needed by Eq. (21)
+}
+
+// NewServer creates an empty server configured with the system-wide
+// representative-bit parameter s (Section II-D).
+func NewServer(s int) (*Server, error) {
+	if s < vhash.MinS || s > vhash.MaxS {
+		return nil, fmt.Errorf("central: %w", vhash.ErrInvalidS)
+	}
+	return &Server{
+		byLoc: make(map[vhash.LocationID]map[record.PeriodID]*record.Record),
+		s:     s,
+	}, nil
+}
+
+// S returns the configured representative-bit count.
+func (s *Server) S() int { return s.s }
+
+// Ingest stores one uploaded record. Duplicate (location, period) pairs
+// are rejected: an RSU reports each period exactly once, so a duplicate
+// indicates a replay or a misconfigured deployment.
+func (s *Server) Ingest(rec *record.Record) error {
+	if rec == nil {
+		return record.ErrNilBitmap
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byPeriod, ok := s.byLoc[rec.Location]
+	if !ok {
+		byPeriod = make(map[record.PeriodID]*record.Record)
+		s.byLoc[rec.Location] = byPeriod
+	}
+	if _, dup := byPeriod[rec.Period]; dup {
+		return fmt.Errorf("%w: loc=%d period=%d", ErrDuplicate, rec.Location, rec.Period)
+	}
+	byPeriod[rec.Period] = rec
+	return nil
+}
+
+// Locations returns all locations with stored records, sorted.
+func (s *Server) Locations() []vhash.LocationID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]vhash.LocationID, 0, len(s.byLoc))
+	for loc := range s.byLoc {
+		out = append(out, loc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Periods returns the sorted periods stored for a location.
+func (s *Server) Periods(loc vhash.LocationID) []record.PeriodID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byPeriod := s.byLoc[loc]
+	out := make([]record.PeriodID, 0, len(byPeriod))
+	for p := range byPeriod {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// get assembles the record set Π for (loc, periods).
+func (s *Server) get(loc vhash.LocationID, periods []record.PeriodID) (*record.Set, error) {
+	if len(periods) == 0 {
+		return nil, ErrNoPeriods
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byPeriod := s.byLoc[loc]
+	recs := make([]*record.Record, 0, len(periods))
+	for _, p := range periods {
+		rec, ok := byPeriod[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, loc, p)
+		}
+		recs = append(recs, rec)
+	}
+	return record.NewSet(recs)
+}
+
+// Volume estimates the plain traffic volume at loc in one period (Eq. 1).
+func (s *Server) Volume(loc vhash.LocationID, p record.PeriodID) (float64, error) {
+	s.mu.RLock()
+	rec, ok := s.byLoc[loc][p]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, loc, p)
+	}
+	return core.EstimateVolume(rec)
+}
+
+// PointPersistent estimates the point persistent traffic at loc over the
+// given periods (Eq. 12).
+func (s *Server) PointPersistent(loc vhash.LocationID, periods []record.PeriodID) (*core.PointResult, error) {
+	set, err := s.get(loc, periods)
+	if err != nil {
+		return nil, err
+	}
+	return core.EstimatePoint(set)
+}
+
+// WindowResult is one sliding-window persistent estimate.
+type WindowResult struct {
+	// Periods are the window's measurement periods, in order.
+	Periods []record.PeriodID
+	// Estimate is the persistent volume over exactly those periods.
+	Estimate float64
+}
+
+// PointPersistentSliding estimates the point persistent traffic over
+// every window of `window` consecutive stored periods at loc — e.g. the
+// week-over-week stability series the paper's introduction motivates
+// ("over the workdays of a week, over the Saturdays of several weeks").
+// window must be >= 2; there must be at least `window` stored periods.
+func (s *Server) PointPersistentSliding(loc vhash.LocationID, window int) ([]WindowResult, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("central: window must be >= 2, got %d", window)
+	}
+	periods := s.Periods(loc)
+	if len(periods) < window {
+		return nil, fmt.Errorf("%w: %d periods stored at loc %d, window %d", ErrNotFound, len(periods), loc, window)
+	}
+	out := make([]WindowResult, 0, len(periods)-window+1)
+	for i := 0; i+window <= len(periods); i++ {
+		ps := periods[i : i+window]
+		res, err := s.PointPersistent(loc, ps)
+		if err != nil {
+			return nil, fmt.Errorf("central: window %v: %w", ps, err)
+		}
+		win := WindowResult{Periods: append([]record.PeriodID{}, ps...), Estimate: res.Estimate}
+		out = append(out, win)
+	}
+	return out, nil
+}
+
+// PointToPointPersistent estimates the point-to-point persistent traffic
+// between locA and locB over the given periods (Eq. 21).
+func (s *Server) PointToPointPersistent(locA, locB vhash.LocationID, periods []record.PeriodID) (*core.PointToPointResult, error) {
+	setA, err := s.get(locA, periods)
+	if err != nil {
+		return nil, err
+	}
+	setB, err := s.get(locB, periods)
+	if err != nil {
+		return nil, err
+	}
+	return core.EstimatePointToPoint(setA, setB, s.s)
+}
+
+// ODVolume estimates the single-period point-to-point volume between two
+// locations: the number of vehicles that passed both during period p.
+func (s *Server) ODVolume(locA, locB vhash.LocationID, p record.PeriodID) (float64, error) {
+	s.mu.RLock()
+	recA, okA := s.byLoc[locA][p]
+	recB, okB := s.byLoc[locB][p]
+	s.mu.RUnlock()
+	if !okA {
+		return 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, locA, p)
+	}
+	if !okB {
+		return 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, locB, p)
+	}
+	res, err := core.EstimateODVolume(recA, recB, s.s)
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
+// Snapshot serialization: a versioned stream of length-prefixed marshaled
+// records, so deployments can persist and restore the store.
+const (
+	snapMagic   = 0x534d5450 // "PTMS"
+	snapVersion = 1
+)
+
+// SaveTo writes a snapshot of all stored records.
+func (s *Server) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapMagic)
+	hdr[4] = snapVersion
+
+	s.mu.RLock()
+	var recs []*record.Record
+	for _, byPeriod := range s.byLoc {
+		for _, rec := range byPeriod {
+			recs = append(recs, rec)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Location != recs[j].Location {
+			return recs[i].Location < recs[j].Location
+		}
+		return recs[i].Period < recs[j].Period
+	})
+
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("central: writing snapshot header: %w", err)
+	}
+	for _, rec := range recs {
+		blob, err := rec.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return fmt.Errorf("central: writing record length: %w", err)
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return fmt.Errorf("central: writing record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFrom ingests every record from a snapshot produced by SaveTo.
+func (s *Server) LoadFrom(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("central: reading snapshot header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != snapMagic {
+		return errors.New("central: bad snapshot magic")
+	}
+	if hdr[4] != snapVersion {
+		return fmt.Errorf("central: unsupported snapshot version %d", hdr[4])
+	}
+	count := binary.LittleEndian.Uint32(hdr[8:12])
+	for i := uint32(0); i < count; i++ {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return fmt.Errorf("central: reading record %d length: %w", i, err)
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > 1<<28 {
+			return fmt.Errorf("central: record %d implausibly large (%d bytes)", i, n)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return fmt.Errorf("central: reading record %d: %w", i, err)
+		}
+		rec, err := record.Unmarshal(blob)
+		if err != nil {
+			return fmt.Errorf("central: decoding record %d: %w", i, err)
+		}
+		if err := s.Ingest(rec); err != nil {
+			return fmt.Errorf("central: restoring record %d: %w", i, err)
+		}
+	}
+	return nil
+}

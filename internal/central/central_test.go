@@ -1,0 +1,296 @@
+package central
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"ptm/internal/record"
+	"ptm/internal/synth"
+	"ptm/internal/vhash"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustRecord(t *testing.T, loc vhash.LocationID, p record.PeriodID, m int) *record.Record {
+	t.Helper()
+	r, err := record.New(loc, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewServerValidatesS(t *testing.T) {
+	if _, err := NewServer(0); !errors.Is(err, vhash.ErrInvalidS) {
+		t.Errorf("s=0 err = %v", err)
+	}
+	s := newServer(t)
+	if s.S() != 3 {
+		t.Errorf("S() = %d", s.S())
+	}
+}
+
+func TestIngestAndEnumerate(t *testing.T) {
+	s := newServer(t)
+	for _, rec := range []*record.Record{
+		mustRecord(t, 2, 1, 64),
+		mustRecord(t, 1, 2, 64),
+		mustRecord(t, 1, 1, 64),
+	} {
+		if err := s.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	locs := s.Locations()
+	if len(locs) != 2 || locs[0] != 1 || locs[1] != 2 {
+		t.Errorf("Locations = %v", locs)
+	}
+	ps := s.Periods(1)
+	if len(ps) != 2 || ps[0] != 1 || ps[1] != 2 {
+		t.Errorf("Periods(1) = %v", ps)
+	}
+	if got := s.Periods(99); len(got) != 0 {
+		t.Errorf("Periods(unknown) = %v", got)
+	}
+}
+
+func TestIngestRejectsDuplicatesAndNil(t *testing.T) {
+	s := newServer(t)
+	if err := s.Ingest(mustRecord(t, 1, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(mustRecord(t, 1, 1, 128)); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("dup err = %v", err)
+	}
+	if err := s.Ingest(nil); !errors.Is(err, record.ErrNilBitmap) {
+		t.Errorf("nil err = %v", err)
+	}
+	if err := s.Ingest(&record.Record{Location: 1, Period: 9}); !errors.Is(err, record.ErrNilBitmap) {
+		t.Errorf("nil bitmap err = %v", err)
+	}
+}
+
+func TestQueriesEndToEnd(t *testing.T) {
+	s := newServer(t)
+	g, err := synth.NewGenerator(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := g.Pair(synth.PairConfig{
+		LocA: 7, LocB: 8,
+		VolumesA: []int{4000, 4500, 4200, 4800, 4100},
+		VolumesB: []int{9000, 9500, 9200, 9800, 9100},
+		NCommon:  800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestSet := func(set *record.Set) {
+		for i, b := range set.Bitmaps() {
+			rec := &record.Record{Location: set.Location(), Period: set.Periods()[i], Bitmap: b}
+			if err := s.Ingest(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ingestSet(pair.SetA)
+	ingestSet(pair.SetB)
+
+	periods := []record.PeriodID{1, 2, 3, 4, 5}
+
+	vol, err := s.Volume(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(vol-4000) / 4000; re > 0.1 {
+		t.Errorf("volume estimate %v vs 4000", vol)
+	}
+
+	pp, err := s.PointPersistent(7, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(pp.Estimate-800) / 800; re > 0.15 {
+		t.Errorf("point persistent %v vs 800", pp.Estimate)
+	}
+
+	p2p, err := s.PointToPointPersistent(7, 8, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(p2p.Estimate-800) / 800; re > 0.15 {
+		t.Errorf("p2p persistent %v vs 800", p2p.Estimate)
+	}
+}
+
+func TestPointPersistentSliding(t *testing.T) {
+	s := newServer(t)
+	g, err := synth.NewGenerator(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A core fleet of 300 present in all six periods, plus 200 extra
+	// "early" commuters present only in periods 1-3.
+	core300, err := g.Identities(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early200, err := g.Identities(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const loc, m = 11, 1 << 13
+	rng := struct{ next func() uint64 }{}
+	seedCounter := uint64(0)
+	rng.next = func() uint64 { seedCounter += 0x9e3779b97f4a7c15; return seedCounter * 0xbf58476d1ce4e5b9 }
+	for p := record.PeriodID(1); p <= 6; p++ {
+		rec := mustRecord(t, loc, p, m)
+		for _, v := range core300 {
+			rec.Bitmap.Set(v.Index(loc, m))
+		}
+		if p <= 3 {
+			for _, v := range early200 {
+				rec.Bitmap.Set(v.Index(loc, m))
+			}
+		}
+		for i := 0; i < 3000; i++ { // transient noise
+			rec.Bitmap.Set(rng.next())
+		}
+		if err := s.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wins, err := s.PointPersistentSliding(loc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 4 {
+		t.Fatalf("windows = %d, want 4", len(wins))
+	}
+	// Window [1,2,3] sees 500 persistent vehicles; later windows 300.
+	if w := wins[0]; w.Estimate < 420 || w.Estimate > 580 {
+		t.Errorf("window %v estimate = %v, want ~500", w.Periods, w.Estimate)
+	}
+	for _, w := range wins[1:] {
+		if w.Estimate < 240 || w.Estimate > 370 {
+			t.Errorf("window %v estimate = %v, want ~300", w.Periods, w.Estimate)
+		}
+	}
+
+	if _, err := s.PointPersistentSliding(loc, 1); err == nil {
+		t.Error("window=1 accepted")
+	}
+	if _, err := s.PointPersistentSliding(loc, 7); !errors.Is(err, ErrNotFound) {
+		t.Errorf("oversized window err = %v", err)
+	}
+	if _, err := s.PointPersistentSliding(99, 2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown loc err = %v", err)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s := newServer(t)
+	if err := s.Ingest(mustRecord(t, 1, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Volume(1, 9); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing period err = %v", err)
+	}
+	if _, err := s.Volume(9, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing loc err = %v", err)
+	}
+	if _, err := s.PointPersistent(1, nil); !errors.Is(err, ErrNoPeriods) {
+		t.Errorf("no periods err = %v", err)
+	}
+	if _, err := s.PointPersistent(1, []record.PeriodID{1, 2}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing record err = %v", err)
+	}
+	if _, err := s.PointToPointPersistent(1, 2, []record.PeriodID{1}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing p2p record err = %v", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := newServer(t)
+	r1 := mustRecord(t, 3, 1, 128)
+	r1.Bitmap.Set(5)
+	r2 := mustRecord(t, 3, 2, 256)
+	r2.Bitmap.Set(100)
+	r3 := mustRecord(t, 4, 1, 64)
+	for _, r := range []*record.Record{r1, r2, r3} {
+		if err := s.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newServer(t)
+	if err := restored.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Locations()) != 2 {
+		t.Errorf("restored locations = %v", restored.Locations())
+	}
+	if got := restored.Periods(3); len(got) != 2 {
+		t.Errorf("restored periods = %v", got)
+	}
+	// Contents survived.
+	vol1, err1 := s.Volume(3, 1)
+	vol2, err2 := restored.Volume(3, 1)
+	if err1 != nil || err2 != nil || vol1 != vol2 {
+		t.Errorf("volume diverged after restore: %v/%v %v/%v", vol1, err1, vol2, err2)
+	}
+}
+
+func TestLoadFromRejectsGarbage(t *testing.T) {
+	s := newServer(t)
+	if err := s.LoadFrom(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short snapshot accepted")
+	}
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] ^= 0xff
+	if err := s.LoadFrom(bytes.NewReader(data)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	s := newServer(t)
+	done := make(chan error, 2)
+	go func() {
+		for p := record.PeriodID(1); p <= 50; p++ {
+			if err := s.Ingest(mustRecord(t, 1, p, 64)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 50; i++ {
+			s.Locations()
+			s.Periods(1)
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package central
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ptm/internal/record"
+	"ptm/internal/synth"
+)
+
+func newHTTPFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := newServer(t)
+	g, err := synth.NewGenerator(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := g.Pair(synth.PairConfig{
+		LocA: 1, LocB: 2,
+		VolumesA: []int{4000, 4200, 4100},
+		VolumesB: []int{8000, 8200, 8100},
+		NCommon:  600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(set *record.Set) {
+		for i, b := range set.Bitmaps() {
+			rec := &record.Record{Location: set.Location(), Period: set.Periods()[i], Bitmap: b}
+			if err := s.Ingest(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ingest(pair.SetA)
+	ingest(pair.SetB)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	ts := newHTTPFixture(t)
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	code, body = get(t, ts, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["locations"].(float64) != 2 || st["records"].(float64) != 6 || st["s"].(float64) != 3 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestHTTPLocations(t *testing.T) {
+	ts := newHTTPFixture(t)
+	code, body := get(t, ts, "/locations")
+	if code != http.StatusOK {
+		t.Fatalf("locations = %d", code)
+	}
+	var locs []struct {
+		Location uint64   `json:"location"`
+		Periods  []uint32 `json:"periods"`
+	}
+	if err := json.Unmarshal([]byte(body), &locs); err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 2 || locs[0].Location != 1 || len(locs[0].Periods) != 3 {
+		t.Errorf("locations = %+v", locs)
+	}
+}
+
+func TestHTTPQueries(t *testing.T) {
+	ts := newHTTPFixture(t)
+
+	code, body := get(t, ts, "/query/volume?loc=1&period=1")
+	if code != http.StatusOK {
+		t.Fatalf("volume = %d %s", code, body)
+	}
+	var vol map[string]float64
+	if err := json.Unmarshal([]byte(body), &vol); err != nil {
+		t.Fatal(err)
+	}
+	if vol["estimate"] < 3500 || vol["estimate"] > 4500 {
+		t.Errorf("volume estimate = %v", vol["estimate"])
+	}
+
+	code, body = get(t, ts, "/query/point?loc=1&periods=1,2,3")
+	if code != http.StatusOK {
+		t.Fatalf("point = %d %s", code, body)
+	}
+	var pt map[string]float64
+	if err := json.Unmarshal([]byte(body), &pt); err != nil {
+		t.Fatal(err)
+	}
+	if pt["estimate"] < 450 || pt["estimate"] > 750 {
+		t.Errorf("point estimate = %v", pt["estimate"])
+	}
+
+	code, body = get(t, ts, "/query/od?loc=1&loc2=2&period=1")
+	if code != http.StatusOK {
+		t.Fatalf("od = %d %s", code, body)
+	}
+	var od map[string]float64
+	if err := json.Unmarshal([]byte(body), &od); err != nil {
+		t.Fatal(err)
+	}
+	// Single-period OD volume includes the 600 persistent commuters.
+	if od["estimate"] < 450 || od["estimate"] > 900 {
+		t.Errorf("od estimate = %v", od["estimate"])
+	}
+
+	code, body = get(t, ts, "/query/p2p?loc=1&loc2=2&periods=1,2,3")
+	if code != http.StatusOK {
+		t.Fatalf("p2p = %d %s", code, body)
+	}
+	var p2p map[string]float64
+	if err := json.Unmarshal([]byte(body), &p2p); err != nil {
+		t.Fatal(err)
+	}
+	if p2p["estimate"] < 450 || p2p["estimate"] > 750 {
+		t.Errorf("p2p estimate = %v", p2p["estimate"])
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts := newHTTPFixture(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/query/volume?loc=1&period=99", http.StatusNotFound},
+		{"/query/volume?loc=99&period=1", http.StatusNotFound},
+		{"/query/volume?loc=1&period=bogus", http.StatusBadRequest},
+		{"/query/volume?period=1", http.StatusBadRequest},
+		{"/query/point?loc=1", http.StatusBadRequest},
+		{"/query/point?loc=1&periods=a,b", http.StatusBadRequest},
+		{"/query/point?loc=1&periods=1,99", http.StatusNotFound},
+		{"/query/p2p?loc=1&periods=1", http.StatusBadRequest},
+		{"/nope", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		code, _ := get(t, ts, tc.path)
+		if code != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, code, tc.want)
+		}
+	}
+}

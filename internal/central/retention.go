@@ -1,0 +1,91 @@
+package central
+
+import (
+	"fmt"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Retention and observability for the record store. Records are small
+// (f × volume bits), but a city-scale deployment accumulates
+// locations × periods of them indefinitely; the authority prunes what its
+// analysis horizon no longer needs.
+
+// DropBefore removes all records older than the cutoff period (exclusive)
+// at every location and reports how many were dropped.
+func (s *Server) DropBefore(cutoff record.PeriodID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for loc, byPeriod := range s.byLoc {
+		for p := range byPeriod {
+			if p < cutoff {
+				delete(byPeriod, p)
+				dropped++
+			}
+		}
+		if len(byPeriod) == 0 {
+			delete(s.byLoc, loc)
+		}
+	}
+	return dropped
+}
+
+// RetainLatest keeps only the newest n periods at the given location and
+// reports how many records were dropped. n <= 0 drops everything at the
+// location.
+func (s *Server) RetainLatest(loc vhash.LocationID, n int) int {
+	periods := s.Periods(loc)
+	if len(periods) <= n {
+		return 0
+	}
+	var cut record.PeriodID
+	if n > 0 {
+		cut = periods[len(periods)-n]
+	} else {
+		cut = periods[len(periods)-1] + 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byPeriod := s.byLoc[loc]
+	dropped := 0
+	for p := range byPeriod {
+		if p < cut {
+			delete(byPeriod, p)
+			dropped++
+		}
+	}
+	if len(byPeriod) == 0 {
+		delete(s.byLoc, loc)
+	}
+	return dropped
+}
+
+// StoreStats summarizes the store's contents.
+type StoreStats struct {
+	Locations int
+	Records   int
+	// Bits is the total bitmap payload held, in bits.
+	Bits int64
+}
+
+// Stats returns a snapshot of store-level counters.
+func (s *Server) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := StoreStats{Locations: len(s.byLoc)}
+	for _, byPeriod := range s.byLoc {
+		st.Records += len(byPeriod)
+		for _, rec := range byPeriod {
+			st.Bits += int64(rec.Size())
+		}
+	}
+	return st
+}
+
+// String renders the stats compactly.
+func (st StoreStats) String() string {
+	return fmt.Sprintf("central{locations=%d records=%d payload=%.1fMiB}",
+		st.Locations, st.Records, float64(st.Bits)/8/(1<<20))
+}

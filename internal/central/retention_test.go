@@ -1,0 +1,93 @@
+package central
+
+import (
+	"strings"
+	"testing"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+func fill(t *testing.T, s *Server) {
+	t.Helper()
+	for loc := 1; loc <= 3; loc++ {
+		for p := 1; p <= 5; p++ {
+			if err := s.Ingest(mustRecord(t, vhashLoc(loc), record.PeriodID(p), 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func vhashLoc(i int) vhash.LocationID { return vhash.LocationID(i) } // keep call sites terse
+
+func TestDropBefore(t *testing.T) {
+	s := newServer(t)
+	fill(t, s)
+	dropped := s.DropBefore(4)
+	if dropped != 9 { // 3 locations x periods {1,2,3}
+		t.Errorf("dropped = %d, want 9", dropped)
+	}
+	for loc := 1; loc <= 3; loc++ {
+		ps := s.Periods(vhashLoc(loc))
+		if len(ps) != 2 || ps[0] != 4 || ps[1] != 5 {
+			t.Errorf("loc %d periods = %v", loc, ps)
+		}
+	}
+	// Dropping everything removes locations entirely.
+	if dropped := s.DropBefore(100); dropped != 6 {
+		t.Errorf("final drop = %d, want 6", dropped)
+	}
+	if len(s.Locations()) != 0 {
+		t.Errorf("locations remain: %v", s.Locations())
+	}
+}
+
+func TestRetainLatest(t *testing.T) {
+	s := newServer(t)
+	fill(t, s)
+	if dropped := s.RetainLatest(1, 2); dropped != 3 {
+		t.Errorf("dropped = %d, want 3", dropped)
+	}
+	ps := s.Periods(1)
+	if len(ps) != 2 || ps[0] != 4 || ps[1] != 5 {
+		t.Errorf("periods = %v", ps)
+	}
+	// Other locations untouched.
+	if len(s.Periods(2)) != 5 {
+		t.Errorf("loc 2 disturbed: %v", s.Periods(2))
+	}
+	// Retaining more than present is a no-op.
+	if dropped := s.RetainLatest(2, 99); dropped != 0 {
+		t.Errorf("no-op dropped %d", dropped)
+	}
+	// n <= 0 clears the location.
+	if dropped := s.RetainLatest(3, 0); dropped != 5 {
+		t.Errorf("clear dropped %d, want 5", dropped)
+	}
+	for _, loc := range s.Locations() {
+		if loc == 3 {
+			t.Error("location 3 should be gone")
+		}
+	}
+	// Unknown location is a no-op.
+	if dropped := s.RetainLatest(99, 1); dropped != 0 {
+		t.Errorf("unknown loc dropped %d", dropped)
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	s := newServer(t)
+	st := s.Stats()
+	if st.Locations != 0 || st.Records != 0 || st.Bits != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	fill(t, s)
+	st = s.Stats()
+	if st.Locations != 3 || st.Records != 15 || st.Bits != 15*64 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "records=15") {
+		t.Errorf("String() = %q", st.String())
+	}
+}

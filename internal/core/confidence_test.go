@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPointConfidenceBrackets(t *testing.T) {
+	pool := newIDPool(t, 3, 61)
+	const nCommon = 800
+	common := pool.take(nCommon)
+	set := makeSet(t, pool, 30, 1<<14, common, []int{6000, 7000, 5500, 6500, 6200})
+	res, err := EstimatePoint(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := PointConfidence(res, 0.95, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo >= iv.Hi {
+		t.Fatalf("degenerate interval [%v, %v]", iv.Lo, iv.Hi)
+	}
+	if iv.Lo > res.Estimate || iv.Hi < res.Estimate {
+		t.Errorf("interval [%v, %v] excludes its own estimate %v", iv.Lo, iv.Hi, res.Estimate)
+	}
+	if iv.Lo > nCommon || iv.Hi < nCommon {
+		t.Errorf("interval [%v, %v] excludes truth %d", iv.Lo, iv.Hi, nCommon)
+	}
+	if iv.Level != 0.95 || iv.Replicates == 0 {
+		t.Errorf("interval meta: %+v", iv)
+	}
+}
+
+func TestPointConfidenceWiderAtHigherLevel(t *testing.T) {
+	pool := newIDPool(t, 3, 67)
+	common := pool.take(500)
+	set := makeSet(t, pool, 31, 1<<14, common, []int{6000, 7000, 5500, 6500})
+	res, err := EstimatePoint(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv80, err := PointConfidence(res, 0.80, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv99, err := PointConfidence(res, 0.99, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv99.Hi-iv99.Lo <= iv80.Hi-iv80.Lo {
+		t.Errorf("99%% interval [%v,%v] not wider than 80%% [%v,%v]",
+			iv99.Lo, iv99.Hi, iv80.Lo, iv80.Hi)
+	}
+}
+
+func TestPointConfidenceValidation(t *testing.T) {
+	pool := newIDPool(t, 3, 71)
+	set := makeSet(t, pool, 32, 1<<12, pool.take(100), []int{2000, 2500})
+	res, err := EstimatePoint(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PointConfidence(nil, 0.95, 10, 1); err == nil {
+		t.Error("nil result accepted")
+	}
+	for _, level := range []float64{0, 1, -0.5, 2} {
+		if _, err := PointConfidence(res, level, 10, 1); !errors.Is(err, ErrBadLevel) {
+			t.Errorf("level %v err = %v", level, err)
+		}
+	}
+	// Default replicates kick in for <= 0.
+	iv, err := PointConfidence(res, 0.9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Replicates != defaultReplicates {
+		t.Errorf("replicates = %d, want default %d", iv.Replicates, defaultReplicates)
+	}
+}
+
+func TestPointConfidenceDeterministic(t *testing.T) {
+	pool := newIDPool(t, 3, 73)
+	set := makeSet(t, pool, 33, 1<<13, pool.take(300), []int{3000, 3500, 3200})
+	res, err := EstimatePoint(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PointConfidence(res, 0.95, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PointConfidence(res, 0.95, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave different intervals: %+v vs %+v", a, b)
+	}
+}
+
+func TestPointToPointConfidenceBrackets(t *testing.T) {
+	pool := newIDPool(t, 3, 79)
+	const nCommon = 900
+	setA, setB := makePair(t, pool, 34, 35, 1<<13, 1<<15, nCommon,
+		[]int{3000, 2500, 3200, 2800, 3100},
+		[]int{12000, 14000, 13000, 15000, 12500})
+	res, err := EstimatePointToPoint(setA, setB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := PointToPointConfidence(res, 0.95, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo >= iv.Hi {
+		t.Fatalf("degenerate interval [%v, %v]", iv.Lo, iv.Hi)
+	}
+	if iv.Lo > res.Estimate || iv.Hi < res.Estimate {
+		t.Errorf("interval [%v, %v] excludes estimate %v", iv.Lo, iv.Hi, res.Estimate)
+	}
+	if iv.Lo > nCommon || iv.Hi < nCommon {
+		t.Errorf("interval [%v, %v] excludes truth %d", iv.Lo, iv.Hi, nCommon)
+	}
+}
+
+func TestPointToPointConfidenceValidation(t *testing.T) {
+	if _, err := PointToPointConfidence(nil, 0.95, 10, 1); err == nil {
+		t.Error("nil result accepted")
+	}
+	pool := newIDPool(t, 3, 83)
+	setA, setB := makePair(t, pool, 36, 37, 1<<12, 1<<12, 100,
+		[]int{2000, 2200}, []int{2100, 2300})
+	res, err := EstimatePointToPoint(setA, setB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PointToPointConfidence(res, 1.5, 10, 1); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("level err = %v", err)
+	}
+}
+
+// TestPointConfidenceCoverage: across many independent worlds, the 90%
+// interval should contain the truth close to 90% of the time. This is the
+// defining property of a confidence interval; we accept [75%, 100%] at 40
+// worlds to keep the test fast yet discriminating against gross bugs.
+func TestPointConfidenceCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage study is slow")
+	}
+	const (
+		worlds  = 40
+		nCommon = 400
+	)
+	covered := 0
+	for w := 0; w < worlds; w++ {
+		pool := newIDPool(t, 3, 1000+uint64(w))
+		common := pool.take(nCommon)
+		set := makeSet(t, pool, 40, 1<<13, common, []int{4000, 4500, 4200, 4800})
+		res, err := EstimatePoint(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, err := PointConfidence(res, 0.90, 150, int64(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Lo <= nCommon && float64(nCommon) <= iv.Hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / worlds
+	if frac < 0.75 {
+		t.Errorf("coverage %.2f below nominal 0.90 (covered %d/%d)", frac, covered, worlds)
+	}
+}

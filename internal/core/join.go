@@ -1,0 +1,171 @@
+// Package core implements the paper's primary contribution: the persistent
+// traffic estimators of Sections III (point) and IV (point-to-point),
+// together with the bitmap-join pipelines they are derived from and the
+// simpler baseline estimators the evaluation compares against.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ptm/internal/bitmap"
+	"ptm/internal/record"
+)
+
+// Estimation errors.
+var (
+	// ErrTooFewPeriods is returned when a persistent estimate is requested
+	// over fewer than two periods; with t = 1 the problem degenerates to
+	// plain volume estimation (use EstimateVolume).
+	ErrTooFewPeriods = errors.New("core: persistent estimation needs at least 2 periods")
+	// ErrSaturated is returned when a joined bitmap has no zero bits, so
+	// the linear-counting step diverges. Increase the load factor f.
+	ErrSaturated = errors.New("core: joined bitmap saturated (no zero bits)")
+	// ErrDegenerate is returned when the measured bit fractions are
+	// inconsistent with the probabilistic model (the log argument of the
+	// estimator is non-positive). This only happens under extreme
+	// saturation or corrupted records.
+	ErrDegenerate = errors.New("core: measured fractions outside the estimator's domain")
+	// ErrBadS is returned for non-positive representative-bit counts.
+	ErrBadS = errors.New("core: s must be >= 1")
+)
+
+// SplitStrategy selects how the t expanded bitmaps Π are divided into the
+// two subsets Π_a and Π_b of Section III-B. The paper uses contiguous
+// halves; interleaved splitting is provided for the ablation study (it
+// changes nothing statistically when periods are exchangeable, and the
+// ablation bench demonstrates that).
+type SplitStrategy int
+
+const (
+	// SplitHalves assigns the first ⌈t/2⌉ records to Π_a and the rest to
+	// Π_b (the paper's split).
+	SplitHalves SplitStrategy = iota
+	// SplitInterleaved assigns even-indexed records to Π_a and odd-indexed
+	// ones to Π_b.
+	SplitInterleaved
+)
+
+// String implements fmt.Stringer.
+func (s SplitStrategy) String() string {
+	switch s {
+	case SplitHalves:
+		return "halves"
+	case SplitInterleaved:
+		return "interleaved"
+	default:
+		return fmt.Sprintf("SplitStrategy(%d)", int(s))
+	}
+}
+
+func (s SplitStrategy) split(bs []*bitmap.Bitmap) (a, b []*bitmap.Bitmap) {
+	switch s {
+	case SplitInterleaved:
+		for i, bm := range bs {
+			if i%2 == 0 {
+				a = append(a, bm)
+			} else {
+				b = append(b, bm)
+			}
+		}
+		return a, b
+	default: // SplitHalves
+		half := (len(bs) + 1) / 2
+		return bs[:half], bs[half:]
+	}
+}
+
+// PointJoin is the joined state of Section III-B: the AND of each subset
+// and the AND of the two, all expanded to the largest size m.
+type PointJoin struct {
+	M      int            // largest bitmap size in Π
+	T      int            // number of periods
+	Ea, Eb *bitmap.Bitmap // AND-joins of Π_a and Π_b
+	EStar  *bitmap.Bitmap // Ea AND Eb
+}
+
+// JoinPoint expands the set's bitmaps to the common size and performs the
+// two-subset AND join. It requires at least two periods.
+func JoinPoint(set *record.Set, strategy SplitStrategy) (*PointJoin, error) {
+	if set.Len() < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrTooFewPeriods, set.Len())
+	}
+	bs := set.Bitmaps()
+	m := set.MaxSize()
+	expanded := make([]*bitmap.Bitmap, len(bs))
+	for i, b := range bs {
+		e, err := b.ExpandTo(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: expanding record %d: %w", i, err)
+		}
+		expanded[i] = e
+	}
+	pa, pb := strategy.split(expanded)
+	ea, err := bitmap.AndAll(pa)
+	if err != nil {
+		return nil, fmt.Errorf("core: joining Π_a: %w", err)
+	}
+	eb, err := bitmap.AndAll(pb)
+	if err != nil {
+		return nil, fmt.Errorf("core: joining Π_b: %w", err)
+	}
+	estar := ea.Clone()
+	if err := estar.And(eb); err != nil {
+		return nil, fmt.Errorf("core: joining E*: %w", err)
+	}
+	return &PointJoin{M: m, T: set.Len(), Ea: ea, Eb: eb, EStar: estar}, nil
+}
+
+// PointToPointJoin is the two-level joined state of Section IV-A.
+type PointToPointJoin struct {
+	M, MPrime    int            // sizes after the per-location joins, M <= MPrime
+	T            int            // number of periods
+	Swapped      bool           // true if the input locations were swapped so M <= MPrime
+	EStar        *bitmap.Bitmap // AND-join at the location with the smaller record size
+	EStarPrime   *bitmap.Bitmap // AND-join at the other location
+	EDoublePrime *bitmap.Bitmap // OR of (EStar expanded to MPrime) and EStarPrime
+}
+
+// JoinPointToPoint performs the first-level AND joins at each location,
+// expands the smaller result to the larger size, and OR-joins them
+// (Section IV-A). The sets must cover identical period lists. If the
+// first set's joined size exceeds the second's, the roles are swapped
+// (the common-vehicle count is symmetric); Swapped records that.
+func JoinPointToPoint(setL, setLPrime *record.Set) (*PointToPointJoin, error) {
+	if setL.Len() < 2 || setLPrime.Len() < 2 {
+		return nil, fmt.Errorf("%w: got %d and %d", ErrTooFewPeriods, setL.Len(), setLPrime.Len())
+	}
+	if err := record.CheckAligned(setL, setLPrime); err != nil {
+		return nil, err
+	}
+	eL, err := bitmap.AndAll(setL.Bitmaps())
+	if err != nil {
+		return nil, fmt.Errorf("core: joining records at L: %w", err)
+	}
+	eLP, err := bitmap.AndAll(setLPrime.Bitmaps())
+	if err != nil {
+		return nil, fmt.Errorf("core: joining records at L': %w", err)
+	}
+	swapped := false
+	if eL.Size() > eLP.Size() {
+		eL, eLP = eLP, eL
+		swapped = true
+	}
+	sStar, err := eL.ExpandTo(eLP.Size())
+	if err != nil {
+		return nil, fmt.Errorf("core: second-level expansion: %w", err)
+	}
+	edp := sStar.Clone()
+	if err := edp.Or(eLP); err != nil {
+		return nil, fmt.Errorf("core: second-level OR join: %w", err)
+	}
+	return &PointToPointJoin{
+		M:            eL.Size(),
+		MPrime:       eLP.Size(),
+		T:            setL.Len(),
+		Swapped:      swapped,
+		EStar:        eL,
+		EStarPrime:   eLP,
+		EDoublePrime: edp,
+	}, nil
+}

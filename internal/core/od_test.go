@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+func TestEstimateODVolume(t *testing.T) {
+	pool := newIDPool(t, 3, 91)
+	const nCommon = 1500
+	common := pool.take(nCommon)
+
+	build := func(loc vhash.LocationID, m int, transients int) *record.Record {
+		r, err := record.New(loc, 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range common {
+			r.Bitmap.Set(v.Index(loc, m))
+		}
+		for _, v := range pool.take(transients) {
+			r.Bitmap.Set(v.Index(loc, m))
+		}
+		return r
+	}
+	recL := build(50, 1<<13, 2500)
+	recLP := build(51, 1<<15, 12000)
+
+	res, err := EstimateODVolume(recL, recLP, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(res.Estimate-nCommon) / nCommon; re > 0.2 {
+		t.Errorf("OD estimate %v vs %d (rel err %.3f)", res.Estimate, nCommon, re)
+	}
+	if res.T != 1 {
+		t.Errorf("T = %d, want 1", res.T)
+	}
+	if res.M != 1<<13 || res.MPrime != 1<<15 {
+		t.Errorf("sizes %d/%d", res.M, res.MPrime)
+	}
+}
+
+func TestEstimateODVolumeValidation(t *testing.T) {
+	r1, err := record.New(1, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := record.New(2, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateODVolume(nil, r1, 3); !errors.Is(err, record.ErrNilBitmap) {
+		t.Errorf("nil err = %v", err)
+	}
+	if _, err := EstimateODVolume(r1, r2, 3); !errors.Is(err, record.ErrPeriodSkew) {
+		t.Errorf("period skew err = %v", err)
+	}
+	r3 := &record.Record{Location: 3, Period: 1}
+	if _, err := EstimateODVolume(r1, r3, 3); !errors.Is(err, record.ErrNilBitmap) {
+		t.Errorf("nil bitmap err = %v", err)
+	}
+}
+
+func TestEstimateODVolumeSwap(t *testing.T) {
+	pool := newIDPool(t, 3, 93)
+	common := pool.take(400)
+	build := func(loc vhash.LocationID, m int) *record.Record {
+		r, err := record.New(loc, 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range common {
+			r.Bitmap.Set(v.Index(loc, m))
+		}
+		for _, v := range pool.take(1000) {
+			r.Bitmap.Set(v.Index(loc, m))
+		}
+		return r
+	}
+	big := build(60, 1<<14)
+	small := build(61, 1<<12)
+	res, err := EstimateODVolume(big, small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Swapped {
+		t.Error("expected swap when first record is larger")
+	}
+	if re := math.Abs(res.Estimate-400) / 400; re > 0.35 {
+		t.Errorf("swapped OD estimate %v vs 400 (rel err %.3f)", res.Estimate, re)
+	}
+}
+
+func TestEstimateMultiPointUpperBound(t *testing.T) {
+	pool := newIDPool(t, 3, 95)
+	// 500 vehicles pass A, B and C every period; 700 more pass only A and
+	// B. The true 3-location persistent volume is 500; the A-B pairwise
+	// estimate sees 1200, while pairs involving C see ~500 — the bound
+	// should bind at a C pair with value ~500.
+	all3 := pool.take(500)
+	abOnly := pool.take(700)
+
+	build := func(loc vhash.LocationID, members ...[]*vhash.Identity) *record.Set {
+		const m, t2, transients = 1 << 13, 4, 2500
+		recs := make([]*record.Record, t2)
+		for p := 0; p < t2; p++ {
+			r, err := record.New(loc, record.PeriodID(p+1), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, grp := range members {
+				for _, v := range grp {
+					r.Bitmap.Set(v.Index(loc, m))
+				}
+			}
+			for _, v := range pool.take(transients) {
+				r.Bitmap.Set(v.Index(loc, m))
+			}
+			recs[p] = r
+		}
+		set, err := record.NewSet(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	setA := build(70, all3, abOnly)
+	setB := build(71, all3, abOnly)
+	setC := build(72, all3)
+
+	res, err := EstimateMultiPointUpperBound([]*record.Set{setA, setB, setC}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpperBound < 400 || res.UpperBound > 650 {
+		t.Errorf("upper bound %v, want ~500", res.UpperBound)
+	}
+	if res.BindingPair[1] != 2 {
+		t.Errorf("binding pair %v should involve location C (index 2)", res.BindingPair)
+	}
+	if ab := res.Pairwise[[2]int{0, 1}]; ab < 1000 || ab > 1400 {
+		t.Errorf("A-B pairwise %v, want ~1200", ab)
+	}
+	// The bound is an upper bound on the truth.
+	if res.UpperBound < 500*0.8 {
+		t.Errorf("bound %v implausibly below truth 500", res.UpperBound)
+	}
+
+	if _, err := EstimateMultiPointUpperBound([]*record.Set{setA}, 3); !errors.Is(err, ErrNeedTwoLocations) {
+		t.Errorf("single location err = %v", err)
+	}
+}

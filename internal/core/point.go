@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ptm/internal/lpc"
+	"ptm/internal/record"
+)
+
+// PointResult carries a point persistent traffic estimate (Section III-B)
+// plus the intermediate quantities the formula consumed, for diagnostics
+// and for the experiment harness.
+type PointResult struct {
+	// Estimate is n̂*, the estimated number of common vehicles, clamped
+	// at zero.
+	Estimate float64
+	// Raw is the unclamped estimator output; small negative values occur
+	// by sampling noise when the true persistent volume is near zero.
+	Raw float64
+	// M is the joined bitmap size, T the number of periods.
+	M, T int
+	// Va0 and Vb0 are the zero fractions of the subset joins E_a and E_b;
+	// V1 is the one fraction of E* (the quantities of Eq. 12).
+	Va0, Vb0, V1 float64
+	// Na and Nb are the abstract independent-vehicle counts of Eq. (3).
+	Na, Nb float64
+}
+
+// EstimatePoint computes the paper's point persistent traffic estimator
+// (Eq. 12) over the records of one location with the paper's contiguous
+// half split. See EstimatePointOpts for strategy control.
+func EstimatePoint(set *record.Set) (*PointResult, error) {
+	return EstimatePointOpts(set, SplitHalves)
+}
+
+// EstimatePointOpts is EstimatePoint with an explicit split strategy.
+func EstimatePointOpts(set *record.Set, strategy SplitStrategy) (*PointResult, error) {
+	j, err := JoinPoint(set, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return estimateFromPointJoin(j)
+}
+
+func estimateFromPointJoin(j *PointJoin) (*PointResult, error) {
+	va0 := j.Ea.FractionZero()
+	vb0 := j.Eb.FractionZero()
+	v1 := j.EStar.FractionOne()
+	if va0 == 0 || vb0 == 0 {
+		return nil, fmt.Errorf("%w: Va0=%v Vb0=%v", ErrSaturated, va0, vb0)
+	}
+	// Eq. (12): n̂* = [ln Va0 + ln Vb0 − ln(V1 + Va0 + Vb0 − 1)] / ln(1 − 1/m).
+	arg := v1 + va0 + vb0 - 1
+	if arg <= 0 {
+		return nil, fmt.Errorf("%w: V1+Va0+Vb0-1 = %v", ErrDegenerate, arg)
+	}
+	logq := math.Log1p(-1 / float64(j.M))
+	raw := (math.Log(va0) + math.Log(vb0) - math.Log(arg)) / logq
+
+	na, err := lpc.Estimate(j.M, va0)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimating n_a: %w", err)
+	}
+	nb, err := lpc.Estimate(j.M, vb0)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimating n_b: %w", err)
+	}
+	return &PointResult{
+		Estimate: math.Max(0, raw),
+		Raw:      raw,
+		M:        j.M,
+		T:        j.T,
+		Va0:      va0,
+		Vb0:      vb0,
+		V1:       v1,
+		Na:       na,
+		Nb:       nb,
+	}, nil
+}
+
+// EstimatePointBaseline is the benchmark method of Section VI-B: apply
+// plain linear probabilistic counting (Eq. 1) directly to E*, the AND of
+// all t records. It systematically over-counts because transient-vehicle
+// collisions also leave ones in E*; Fig. 4 quantifies the gap.
+func EstimatePointBaseline(set *record.Set) (float64, error) {
+	if set.Len() < 2 {
+		return 0, fmt.Errorf("%w: got %d", ErrTooFewPeriods, set.Len())
+	}
+	j, err := JoinPoint(set, SplitHalves)
+	if err != nil {
+		return 0, err
+	}
+	v0 := j.EStar.FractionZero()
+	if v0 == 0 {
+		return 0, fmt.Errorf("%w: E* has no zero bits", ErrSaturated)
+	}
+	return lpc.Estimate(j.M, v0)
+}
+
+// EstimateVolume estimates a single record's plain traffic volume with
+// Eq. (1); this is the per-period point (non-persistent) measurement.
+func EstimateVolume(r *record.Record) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	n, err := lpc.Estimate(r.Size(), r.Bitmap.FractionZero())
+	if err != nil {
+		return 0, fmt.Errorf("core: volume estimate: %w", err)
+	}
+	return n, nil
+}

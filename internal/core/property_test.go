@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ptm/internal/record"
+	"ptm/internal/synth"
+)
+
+// Property tests over randomized workloads: structural invariants the
+// estimators must satisfy for any input, not just tuned scenarios.
+
+// TestPropertyPointEstimateBounds: for any workload, the point estimate
+// is non-negative and cannot exceed the smaller abstract subset
+// cardinality (a persistent vehicle is present in both subsets).
+func TestPropertyPointEstimateBounds(t *testing.T) {
+	f := func(seed uint64, tRaw, commonRaw uint8) bool {
+		periods := 2 + int(tRaw)%8   // 2..9
+		common := int(commonRaw) * 4 // 0..1020
+		g, err := synth.NewGenerator(seed, 3)
+		if err != nil {
+			return false
+		}
+		vols, err := g.Volumes(periods, 2000, 10000)
+		if err != nil {
+			return false
+		}
+		if common >= 2000 {
+			common = 1999
+		}
+		w, err := g.Point(synth.PointConfig{Loc: 1, Volumes: vols, NCommon: common})
+		if err != nil {
+			return false
+		}
+		res, err := EstimatePoint(w.Set)
+		if err != nil {
+			return false
+		}
+		if res.Estimate < 0 {
+			t.Logf("negative estimate %v", res.Estimate)
+			return false
+		}
+		bound := math.Min(res.Na, res.Nb)
+		// Numerical slack: the estimate may exceed the abstract bound by
+		// sampling noise only marginally.
+		if res.Estimate > bound*1.05+50 {
+			t.Logf("estimate %v above bound %v", res.Estimate, bound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPointMonotoneInCommon: adding persistent vehicles (all else
+// fixed) increases the estimate, up to sampling noise.
+func TestPropertyPointMonotoneInCommon(t *testing.T) {
+	f := func(seed uint64) bool {
+		vols := []int{6000, 6000, 6000, 6000}
+		run := func(common int) float64 {
+			g, err := synth.NewGenerator(seed, 3)
+			if err != nil {
+				return math.NaN()
+			}
+			w, err := g.Point(synth.PointConfig{Loc: 1, Volumes: vols, NCommon: common})
+			if err != nil {
+				return math.NaN()
+			}
+			res, err := EstimatePoint(w.Set)
+			if err != nil {
+				return math.NaN()
+			}
+			return res.Estimate
+		}
+		lo, hi := run(200), run(1600)
+		return !math.IsNaN(lo) && !math.IsNaN(hi) && hi > lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyP2PSymmetry: swapping the two locations' record sets leaves
+// the point-to-point estimate unchanged (the join handles ordering).
+func TestPropertyP2PSymmetry(t *testing.T) {
+	f := func(seed uint64, commonRaw uint8) bool {
+		common := 100 + int(commonRaw)*4
+		g, err := synth.NewGenerator(seed, 3)
+		if err != nil {
+			return false
+		}
+		volsA, err := g.Volumes(4, 2000, 6000)
+		if err != nil {
+			return false
+		}
+		volsB, err := g.Volumes(4, 8000, 16000)
+		if err != nil {
+			return false
+		}
+		w, err := g.Pair(synth.PairConfig{LocA: 1, LocB: 2, VolumesA: volsA, VolumesB: volsB, NCommon: common})
+		if err != nil {
+			return false
+		}
+		ab, err := EstimatePointToPoint(w.SetA, w.SetB, 3)
+		if err != nil {
+			return false
+		}
+		ba, err := EstimatePointToPoint(w.SetB, w.SetA, 3)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ab.Estimate-ba.Estimate) < 1e-9*(1+ab.Estimate)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPeriodOrderIrrelevant: the estimate depends on the set Π,
+// not on upload order (record.NewSet sorts by period).
+func TestPropertyPeriodOrderIrrelevant(t *testing.T) {
+	g, err := synth.NewGenerator(77, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Point(synth.PointConfig{Loc: 1, Volumes: []int{5000, 6000, 7000, 8000}, NCommon: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := EstimatePoint(w.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the set from records in reversed order.
+	var recs []*record.Record
+	bitmaps := w.Set.Bitmaps()
+	periods := w.Set.Periods()
+	for i := len(bitmaps) - 1; i >= 0; i-- {
+		recs = append(recs, &record.Record{Location: 1, Period: periods[i], Bitmap: bitmaps[i]})
+	}
+	shuffled, err := record.NewSet(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimatePoint(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate != base.Estimate {
+		t.Errorf("order-dependent estimate: %v vs %v", got.Estimate, base.Estimate)
+	}
+}
+
+// TestPropertyKWayAgreesAcrossK: on identical-size workloads the k=2 and
+// k=3 estimators agree within statistical noise.
+func TestPropertyKWayAgreesAcrossK(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := synth.NewGenerator(seed, 3)
+		if err != nil {
+			return false
+		}
+		vols := []int{6000, 6000, 6000, 6000, 6000, 6000}
+		w, err := g.Point(synth.PointConfig{Loc: 1, Volumes: vols, NCommon: 800})
+		if err != nil {
+			return false
+		}
+		k2, err := EstimatePointKWay(w.Set, 2)
+		if err != nil {
+			return false
+		}
+		k3, err := EstimatePointKWay(w.Set, 3)
+		if err != nil {
+			return false
+		}
+		// Both near the truth; tolerate independent noise on each.
+		return math.Abs(k2.Estimate-800) < 200 && math.Abs(k3.Estimate-800) < 200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package dsrc simulates the vehicle-to-infrastructure wireless exchange of
+// Section II (DSRC / IEEE 802.11p in the paper): RSUs broadcast signed
+// beacons at preset intervals; vehicles in range respond with a single
+// index value. The channel model supports probabilistic loss so the rest
+// of the stack can be exercised under imperfect delivery, and every
+// vehicle report carries a fresh one-time MAC address (the SpoofMAC model
+// of Section II-B), so the link layer leaks no stable identifier.
+package dsrc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Beacon is the RSU's periodic broadcast (Section II-D): the location, the
+// current bitmap size m, the measurement period, the RSU's certificate,
+// and a signature over the mutable fields.
+type Beacon struct {
+	Location vhash.LocationID
+	M        int
+	Period   record.PeriodID
+	CertDER  []byte
+	Sig      []byte
+}
+
+// MAC is a 48-bit link-layer address. Vehicles draw a fresh one per report.
+type MAC [6]byte
+
+// String renders the address in colon-hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Report is a vehicle's response to a beacon: nothing but a one-time MAC
+// and the bit index h_v. No vehicle identity is present by construction.
+type Report struct {
+	SrcMAC MAC
+	Period record.PeriodID
+	Index  uint64
+}
+
+// Config tunes the channel model.
+type Config struct {
+	// BeaconLoss and ReportLoss are independent per-message loss
+	// probabilities in [0, 1).
+	BeaconLoss, ReportLoss float64
+	// Seed makes loss decisions reproducible.
+	Seed int64
+}
+
+// Errors.
+var (
+	ErrBadLoss  = errors.New("dsrc: loss probability outside [0, 1)")
+	ErrNoUplink = errors.New("dsrc: channel has no report sink attached")
+	ErrClosed   = errors.New("dsrc: channel closed")
+)
+
+// Channel is one RSU's radio neighborhood. Vehicles subscribe while in
+// range; the RSU broadcasts beacons into it and consumes reports from it.
+// All delivery is synchronous; loss is the only impairment modeled, since
+// the measurement protocol is a stateless request/response whose timing
+// does not affect the estimators.
+type Channel struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	cfg       Config
+	nextSub   int
+	listeners map[int]func(Beacon)
+	sink      func(Report)
+	closed    bool
+
+	beaconsSent, beaconsLost uint64
+	reportsSent, reportsLost uint64
+}
+
+// NewChannel creates a channel with the given impairment model.
+func NewChannel(cfg Config) (*Channel, error) {
+	if cfg.BeaconLoss < 0 || cfg.BeaconLoss >= 1 {
+		return nil, fmt.Errorf("%w: beacon %v", ErrBadLoss, cfg.BeaconLoss)
+	}
+	if cfg.ReportLoss < 0 || cfg.ReportLoss >= 1 {
+		return nil, fmt.Errorf("%w: report %v", ErrBadLoss, cfg.ReportLoss)
+	}
+	return &Channel{
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		listeners: make(map[int]func(Beacon)),
+	}, nil
+}
+
+// Subscribe registers a beacon listener (a vehicle entering radio range)
+// and returns an unsubscribe function (the vehicle leaving range).
+func (c *Channel) Subscribe(fn func(Beacon)) (cancel func(), err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	id := c.nextSub
+	c.nextSub++
+	c.listeners[id] = fn
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.listeners, id)
+	}, nil
+}
+
+// AttachSink registers the RSU-side report consumer. Only one sink may be
+// attached at a time.
+func (c *Channel) AttachSink(fn func(Report)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.sink != nil {
+		return errors.New("dsrc: report sink already attached")
+	}
+	c.sink = fn
+	return nil
+}
+
+// Broadcast delivers the beacon to every subscribed vehicle, dropping each
+// copy independently with probability BeaconLoss. Listeners run on the
+// caller's goroutine, outside the channel lock.
+func (c *Channel) Broadcast(b Beacon) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	var deliver []func(Beacon)
+	for _, fn := range c.listeners {
+		c.beaconsSent++
+		if c.cfg.BeaconLoss > 0 && c.rng.Float64() < c.cfg.BeaconLoss {
+			c.beaconsLost++
+			continue
+		}
+		deliver = append(deliver, fn)
+	}
+	c.mu.Unlock()
+	for _, fn := range deliver {
+		fn(b)
+	}
+	return nil
+}
+
+// Send transmits a vehicle report to the RSU, subject to ReportLoss.
+func (c *Channel) Send(r Report) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.sink == nil {
+		c.mu.Unlock()
+		return ErrNoUplink
+	}
+	c.reportsSent++
+	if c.cfg.ReportLoss > 0 && c.rng.Float64() < c.cfg.ReportLoss {
+		c.reportsLost++
+		c.mu.Unlock()
+		return nil // lost in the air; sender cannot tell
+	}
+	sink := c.sink
+	c.mu.Unlock()
+	sink(r)
+	return nil
+}
+
+// Close tears the channel down; subsequent operations fail with ErrClosed.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.listeners = map[int]func(Beacon){}
+	c.sink = nil
+}
+
+// Stats reports message counters (sent includes lost).
+type Stats struct {
+	BeaconsSent, BeaconsLost uint64
+	ReportsSent, ReportsLost uint64
+}
+
+// Stats returns a snapshot of the channel counters.
+func (c *Channel) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		BeaconsSent: c.beaconsSent, BeaconsLost: c.beaconsLost,
+		ReportsSent: c.reportsSent, ReportsLost: c.reportsLost,
+	}
+}
+
+// NewAnonymousMAC draws a fresh locally administered, unicast MAC address
+// from rng — the SpoofMAC one-time address model.
+func NewAnonymousMAC(rng *rand.Rand) MAC {
+	var m MAC
+	v := rng.Uint64()
+	for i := 0; i < 6; i++ {
+		m[i] = byte(v >> (8 * i))
+	}
+	m[0] = (m[0] | 0x02) &^ 0x01 // locally administered, unicast
+	return m
+}

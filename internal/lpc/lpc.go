@@ -1,0 +1,117 @@
+// Package lpc implements linear probabilistic counting (Whang, Vander-Zanden
+// and Taylor, ACM TODS 1990), the cardinality-estimation substrate the paper
+// builds on: Eq. (1) estimates a period's traffic volume from the fraction
+// of zero bits in the RSU's record, and Eq. (2) sizes the record from the
+// expected volume and the system-wide load factor f.
+package lpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Estimation errors.
+var (
+	// ErrSaturated is returned when a bitmap has no zero bits left; the
+	// linear-counting estimate diverges and the record is unusable. The
+	// deployment remedy is a larger load factor f (Eq. 2).
+	ErrSaturated = errors.New("lpc: bitmap saturated (no zero bits)")
+	// ErrBadFraction is returned for zero fractions outside (0, 1].
+	ErrBadFraction = errors.New("lpc: zero fraction out of range")
+	// ErrBadSize is returned for non-positive bitmap sizes.
+	ErrBadSize = errors.New("lpc: bitmap size must be positive")
+)
+
+// Estimate returns n̂ = ln(V0) / ln(1 - 1/m), the number of independently
+// and uniformly hashed items that would leave a fraction V0 of an m-bit
+// bitmap zero. For large m this is the paper's Eq. (1), n̂ = -m ln V0; we
+// use the exact base because the estimators of Sections III-B and IV-B are
+// derived with (1 - 1/m) factors and the joins must stay consistent.
+func Estimate(m int, zeroFraction float64) (float64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, m)
+	}
+	if zeroFraction <= 0 {
+		if zeroFraction == 0 {
+			return 0, ErrSaturated
+		}
+		return 0, fmt.Errorf("%w: %v", ErrBadFraction, zeroFraction)
+	}
+	if zeroFraction > 1 {
+		return 0, fmt.Errorf("%w: %v", ErrBadFraction, zeroFraction)
+	}
+	return math.Log(zeroFraction) / math.Log(1-1/float64(m)), nil
+}
+
+// EstimateApprox returns the paper's literal Eq. (1), n̂ = -m ln V0. It
+// differs from Estimate by O(n/m); both are exposed so the experiment
+// harness can demonstrate the (negligible) difference.
+func EstimateApprox(m int, zeroFraction float64) (float64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, m)
+	}
+	if zeroFraction <= 0 {
+		if zeroFraction == 0 {
+			return 0, ErrSaturated
+		}
+		return 0, fmt.Errorf("%w: %v", ErrBadFraction, zeroFraction)
+	}
+	if zeroFraction > 1 {
+		return 0, fmt.Errorf("%w: %v", ErrBadFraction, zeroFraction)
+	}
+	return -float64(m) * math.Log(zeroFraction), nil
+}
+
+// StdError returns the standard error of the linear-counting estimate for
+// true cardinality n on an m-bit bitmap, per Whang et al.:
+//
+//	StdErr(n̂)/n = sqrt(m (e^t - t - 1)) / (n),  t = n/m.
+//
+// Useful for choosing f and for sanity-checking simulation variance.
+func StdError(n float64, m int) float64 {
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	t := n / float64(m)
+	return math.Sqrt(float64(m)*(math.Exp(t)-t-1)) / n
+}
+
+// DefaultLoadFactor is the paper's recommended accuracy/privacy compromise
+// f = 2 (Section VI-C).
+const DefaultLoadFactor = 2.0
+
+// BitmapSize implements Eq. (2): m = 2^ceil(log2(expected * f)), the
+// power-of-two record size for an RSU whose historical per-period volume is
+// expected, under load factor f. The result is clamped below at 64 bits
+// (one machine word) — relevant only for near-empty locations — and errors
+// above 2^30 bits.
+func BitmapSize(expected float64, f float64) (int, error) {
+	if expected <= 0 {
+		return 0, fmt.Errorf("lpc: expected volume must be positive, got %v", expected)
+	}
+	if f <= 0 {
+		return 0, fmt.Errorf("lpc: load factor must be positive, got %v", f)
+	}
+	target := expected * f
+	m := 64
+	for float64(m) < target {
+		m <<= 1
+		if m > 1<<30 {
+			return 0, fmt.Errorf("lpc: required bitmap size exceeds 2^30 bits (expected=%v f=%v)", expected, f)
+		}
+	}
+	return m, nil
+}
+
+// Saturation reports the occupancy n/m at which the probability of a fully
+// saturated m-bit bitmap (→ ErrSaturated) stays below the given risk. It
+// inverts P(no zero bit) ≈ (1 - e^{-n/m})^m <= risk. Used by capacity
+// planning in the central server.
+func Saturation(m int, risk float64) (maxLoad float64) {
+	if m <= 0 || risk <= 0 || risk >= 1 {
+		return 0
+	}
+	// (1 - e^{-t})^m = risk  =>  t = -ln(1 - risk^{1/m})
+	return -math.Log(1 - math.Pow(risk, 1/float64(m)))
+}

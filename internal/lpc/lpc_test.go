@@ -1,0 +1,198 @@
+package lpc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ptm/internal/bitmap"
+	"ptm/internal/vhash"
+)
+
+func TestEstimateExactValues(t *testing.T) {
+	// V0 = (1-1/m)^n exactly inverts to n.
+	for _, tc := range []struct {
+		m int
+		n float64
+	}{
+		{1 << 10, 100},
+		{1 << 10, 1000},
+		{1 << 20, 500000},
+		{64, 10},
+	} {
+		v0 := math.Pow(1-1/float64(tc.m), tc.n)
+		got, err := Estimate(tc.m, v0)
+		if err != nil {
+			t.Fatalf("Estimate(%d, %v): %v", tc.m, v0, err)
+		}
+		if math.Abs(got-tc.n) > 1e-6*tc.n {
+			t.Errorf("Estimate(m=%d) = %v, want %v", tc.m, got, tc.n)
+		}
+	}
+}
+
+func TestEstimateApproxCloseToExact(t *testing.T) {
+	m := 1 << 20
+	v0 := math.Exp(-0.5) // n/m = 0.5, f = 2 regime
+	exact, err := Estimate(m, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := EstimateApprox(m, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(exact-approx) / exact; rel > 1e-5 {
+		t.Errorf("approx deviates by %v from exact for large m", rel)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(0, 0.5); !errors.Is(err, ErrBadSize) {
+		t.Errorf("m=0 err = %v", err)
+	}
+	if _, err := Estimate(-5, 0.5); !errors.Is(err, ErrBadSize) {
+		t.Errorf("m<0 err = %v", err)
+	}
+	if _, err := Estimate(64, 0); !errors.Is(err, ErrSaturated) {
+		t.Errorf("V0=0 err = %v", err)
+	}
+	if _, err := Estimate(64, -0.1); !errors.Is(err, ErrBadFraction) {
+		t.Errorf("V0<0 err = %v", err)
+	}
+	if _, err := Estimate(64, 1.5); !errors.Is(err, ErrBadFraction) {
+		t.Errorf("V0>1 err = %v", err)
+	}
+	if _, err := EstimateApprox(0, 0.5); !errors.Is(err, ErrBadSize) {
+		t.Errorf("approx m=0 err = %v", err)
+	}
+	if _, err := EstimateApprox(64, 0); !errors.Is(err, ErrSaturated) {
+		t.Errorf("approx V0=0 err = %v", err)
+	}
+	if _, err := EstimateApprox(64, 2); !errors.Is(err, ErrBadFraction) {
+		t.Errorf("approx V0>1 err = %v", err)
+	}
+}
+
+func TestEstimateEmptyBitmapIsZero(t *testing.T) {
+	got, err := Estimate(1<<10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("empty bitmap estimate = %v, want 0", got)
+	}
+}
+
+// TestEstimateEndToEnd encodes real vehicle identities into a bitmap and
+// checks the estimate lands near the true count — Eq. (1) in action.
+func TestEstimateEndToEnd(t *testing.T) {
+	const (
+		n = 5000
+		f = 2.0
+	)
+	m, err := BitmapSize(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bitmap.MustNew(m)
+	for i := 0; i < n; i++ {
+		v, err := vhash.NewSeededIdentity(vhash.VehicleID(i), 3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Set(v.Index(1, m))
+	}
+	got, err := Estimate(m, b.FractionZero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-n) / n; rel > 0.05 {
+		t.Errorf("end-to-end estimate %v vs true %d (rel err %.3f)", got, n, rel)
+	}
+}
+
+func TestStdError(t *testing.T) {
+	// Whang et al.: for load t = n/m = 1, relative std error ~ sqrt(m(e-2))/n.
+	m := 1 << 16
+	n := float64(m)
+	want := math.Sqrt(float64(m)*(math.E-2)) / n
+	if got := StdError(n, m); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdError = %v, want %v", got, want)
+	}
+	if StdError(0, m) != 0 || StdError(100, 0) != 0 {
+		t.Error("degenerate StdError not 0")
+	}
+	// Larger m (smaller load) → smaller relative error.
+	if StdError(1000, 1<<14) >= StdError(1000, 1<<12) {
+		t.Error("std error should shrink as m grows")
+	}
+}
+
+func TestBitmapSize(t *testing.T) {
+	cases := []struct {
+		expected float64
+		f        float64
+		want     int
+	}{
+		{1000, 2, 2048},
+		{1024, 2, 2048},
+		{1025, 2, 4096},
+		{28000, 2, 65536},     // Table I, L=8
+		{213000, 2, 524288},   // Table I, L=1
+		{451000, 2, 1 << 20},  // Table I, L'
+		{1, 2, 64},            // clamped to one word
+		{3, 1, 64},            // clamped
+		{100000, 3, 1 << 19},  // f=3
+		{100000, 1.5, 262144}, // fractional f
+	}
+	for _, tc := range cases {
+		got, err := BitmapSize(tc.expected, tc.f)
+		if err != nil {
+			t.Fatalf("BitmapSize(%v, %v): %v", tc.expected, tc.f, err)
+		}
+		if got != tc.want {
+			t.Errorf("BitmapSize(%v, %v) = %d, want %d", tc.expected, tc.f, got, tc.want)
+		}
+		if got&(got-1) != 0 {
+			t.Errorf("BitmapSize(%v, %v) = %d is not a power of two", tc.expected, tc.f, got)
+		}
+	}
+}
+
+func TestBitmapSizeErrors(t *testing.T) {
+	if _, err := BitmapSize(0, 2); err == nil {
+		t.Error("expected=0 accepted")
+	}
+	if _, err := BitmapSize(-10, 2); err == nil {
+		t.Error("expected<0 accepted")
+	}
+	if _, err := BitmapSize(1000, 0); err == nil {
+		t.Error("f=0 accepted")
+	}
+	if _, err := BitmapSize(1e12, 4); err == nil {
+		t.Error("oversized bitmap accepted")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	// For sane sizes the saturation load should be comfortably above the
+	// f=2 operating point (load 0.5) and increase with m.
+	l1 := Saturation(1<<10, 1e-6)
+	l2 := Saturation(1<<20, 1e-6)
+	if l1 <= 0.5 {
+		t.Errorf("saturation load %v <= operating load 0.5", l1)
+	}
+	if l2 <= l1 {
+		t.Errorf("saturation load should grow with m: %v <= %v", l2, l1)
+	}
+	if Saturation(0, 0.5) != 0 || Saturation(64, 0) != 0 || Saturation(64, 1) != 0 {
+		t.Error("degenerate Saturation not 0")
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Estimate(1<<20, 0.5)
+	}
+}

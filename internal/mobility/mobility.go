@@ -1,0 +1,255 @@
+// Package mobility provides a simple road-network and trip model for
+// driving full-stack simulations: a rectangular grid of instrumented
+// intersections, deterministic L-shaped routes, a commuter fleet that
+// repeats its origin–destination trip every day (the persistent traffic),
+// and one-off background trips (the transient traffic).
+//
+// The paper's estimators consume only which vehicles passed which RSU in
+// which period; this package generates exactly that, with ground truth
+// available for every location and location pair.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ptm/internal/vhash"
+)
+
+// Errors.
+var (
+	ErrBadGrid   = errors.New("mobility: grid dimensions must be positive")
+	ErrOffGrid   = errors.New("mobility: point outside the grid")
+	ErrBadCount  = errors.New("mobility: count must be non-negative")
+	ErrGridLimit = errors.New("mobility: grid too large")
+)
+
+// Point is an intersection coordinate.
+type Point struct{ X, Y int }
+
+// Trip is an origin–destination pair.
+type Trip struct{ From, To Point }
+
+// Grid is a W x H network of instrumented intersections. Every
+// intersection hosts one RSU whose LocationID encodes its coordinates.
+type Grid struct {
+	w, h int
+}
+
+// maxGridSide bounds grid dimensions so LocationIDs stay collision-free.
+const maxGridSide = 1 << 20
+
+// NewGrid creates a W x H grid.
+func NewGrid(w, h int) (*Grid, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrBadGrid, w, h)
+	}
+	if w > maxGridSide || h > maxGridSide {
+		return nil, fmt.Errorf("%w: %dx%d", ErrGridLimit, w, h)
+	}
+	return &Grid{w: w, h: h}, nil
+}
+
+// Width returns the number of intersections per row.
+func (g *Grid) Width() int { return g.w }
+
+// Height returns the number of intersection rows.
+func (g *Grid) Height() int { return g.h }
+
+// Contains reports whether p lies on the grid.
+func (g *Grid) Contains(p Point) bool {
+	return p.X >= 0 && p.X < g.w && p.Y >= 0 && p.Y < g.h
+}
+
+// Loc returns the LocationID of the intersection at p.
+func (g *Grid) Loc(p Point) (vhash.LocationID, error) {
+	if !g.Contains(p) {
+		return 0, fmt.Errorf("%w: %+v", ErrOffGrid, p)
+	}
+	return vhash.LocationID(uint64(p.Y)<<20 | uint64(p.X)), nil
+}
+
+// Route returns the intersections of the deterministic L-shaped path from
+// trip.From to trip.To: horizontal leg first, then vertical. Both
+// endpoints are included; a zero-length trip visits one intersection.
+func (g *Grid) Route(trip Trip) ([]vhash.LocationID, error) {
+	if !g.Contains(trip.From) {
+		return nil, fmt.Errorf("%w: from %+v", ErrOffGrid, trip.From)
+	}
+	if !g.Contains(trip.To) {
+		return nil, fmt.Errorf("%w: to %+v", ErrOffGrid, trip.To)
+	}
+	var pts []Point
+	step := func(a, b int) int {
+		if a < b {
+			return 1
+		}
+		return -1
+	}
+	cur := trip.From
+	pts = append(pts, cur)
+	for cur.X != trip.To.X {
+		cur.X += step(cur.X, trip.To.X)
+		pts = append(pts, cur)
+	}
+	for cur.Y != trip.To.Y {
+		cur.Y += step(cur.Y, trip.To.Y)
+		pts = append(pts, cur)
+	}
+	out := make([]vhash.LocationID, len(pts))
+	for i, p := range pts {
+		loc, err := g.Loc(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = loc
+	}
+	return out, nil
+}
+
+// Commuter is a vehicle repeating the same trip every day.
+type Commuter struct {
+	Identity *vhash.Identity
+	Trip     Trip
+	route    []vhash.LocationID
+}
+
+// World holds the grid, the commuter fleet, and the background-trip model.
+type World struct {
+	grid      *Grid
+	s         int
+	seed      uint64
+	rng       *rand.Rand
+	nextID    uint64
+	commuters []*Commuter
+	// backgroundPerDay one-off trips are generated each day.
+	backgroundPerDay int
+}
+
+// NewWorld creates an empty world. s is the representative-bit parameter
+// for vehicle identities; seed drives all randomness.
+func NewWorld(grid *Grid, s int, seed uint64) (*World, error) {
+	if grid == nil {
+		return nil, errors.New("mobility: nil grid")
+	}
+	if s < vhash.MinS || s > vhash.MaxS {
+		return nil, fmt.Errorf("mobility: %w", vhash.ErrInvalidS)
+	}
+	return &World{
+		grid: grid,
+		s:    s,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(int64(seed))),
+	}, nil
+}
+
+func (w *World) newIdentity() (*vhash.Identity, error) {
+	v, err := vhash.NewSeededIdentity(vhash.VehicleID(w.nextID), w.s, w.seed)
+	if err != nil {
+		return nil, err
+	}
+	w.nextID++
+	return v, nil
+}
+
+// AddCommuters adds n commuters that all drive the given trip daily.
+func (w *World) AddCommuters(n int, trip Trip) error {
+	if n < 0 {
+		return fmt.Errorf("%w: %d", ErrBadCount, n)
+	}
+	route, err := w.grid.Route(trip)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		v, err := w.newIdentity()
+		if err != nil {
+			return err
+		}
+		w.commuters = append(w.commuters, &Commuter{Identity: v, Trip: trip, route: route})
+	}
+	return nil
+}
+
+// SetBackgroundTrips sets how many one-off trips (fresh vehicle, random
+// endpoints) occur per day.
+func (w *World) SetBackgroundTrips(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: %d", ErrBadCount, n)
+	}
+	w.backgroundPerDay = n
+	return nil
+}
+
+// Commuters returns the fleet size.
+func (w *World) Commuters() int { return len(w.commuters) }
+
+// Visits maps each location to the vehicles that passed it during one day.
+type Visits map[vhash.LocationID][]*vhash.Identity
+
+// Day simulates one day: every commuter drives its route; background
+// trips occur with fresh vehicles. The same World must be asked for days
+// in sequence; each call draws new background traffic.
+func (w *World) Day() (Visits, error) {
+	visits := make(Visits)
+	for _, c := range w.commuters {
+		for _, loc := range c.route {
+			visits[loc] = append(visits[loc], c.Identity)
+		}
+	}
+	for i := 0; i < w.backgroundPerDay; i++ {
+		trip := Trip{
+			From: Point{X: w.rng.Intn(w.grid.w), Y: w.rng.Intn(w.grid.h)},
+			To:   Point{X: w.rng.Intn(w.grid.w), Y: w.rng.Intn(w.grid.h)},
+		}
+		route, err := w.grid.Route(trip)
+		if err != nil {
+			return nil, err
+		}
+		v, err := w.newIdentity()
+		if err != nil {
+			return nil, err
+		}
+		for _, loc := range route {
+			visits[loc] = append(visits[loc], v)
+		}
+	}
+	return visits, nil
+}
+
+// CommutersThrough returns the ground-truth number of commuters whose
+// daily route passes loc.
+func (w *World) CommutersThrough(loc vhash.LocationID) int {
+	n := 0
+	for _, c := range w.commuters {
+		for _, l := range c.route {
+			if l == loc {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// CommutersThroughBoth returns the ground-truth number of commuters whose
+// daily route passes both locations.
+func (w *World) CommutersThroughBoth(a, b vhash.LocationID) int {
+	n := 0
+	for _, c := range w.commuters {
+		var hitA, hitB bool
+		for _, l := range c.route {
+			if l == a {
+				hitA = true
+			}
+			if l == b {
+				hitB = true
+			}
+		}
+		if hitA && hitB {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,270 @@
+package mobility
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ptm/internal/core"
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+func mustGrid(t *testing.T, w, h int) *Grid {
+	t.Helper()
+	g, err := NewGrid(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 3}} {
+		if _, err := NewGrid(dims[0], dims[1]); !errors.Is(err, ErrBadGrid) {
+			t.Errorf("NewGrid(%v) err = %v", dims, err)
+		}
+	}
+	if _, err := NewGrid(maxGridSide+1, 1); !errors.Is(err, ErrGridLimit) {
+		t.Errorf("oversize err should be ErrGridLimit")
+	}
+	g := mustGrid(t, 4, 3)
+	if g.Width() != 4 || g.Height() != 3 {
+		t.Errorf("dims = %dx%d", g.Width(), g.Height())
+	}
+}
+
+func TestLocUniqueness(t *testing.T) {
+	g := mustGrid(t, 10, 10)
+	seen := map[vhash.LocationID]bool{}
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			loc, err := g.Loc(Point{x, y})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[loc] {
+				t.Fatalf("duplicate LocationID at (%d,%d)", x, y)
+			}
+			seen[loc] = true
+		}
+	}
+	if _, err := g.Loc(Point{10, 0}); !errors.Is(err, ErrOffGrid) {
+		t.Errorf("off-grid err = %v", err)
+	}
+}
+
+func TestRouteShape(t *testing.T) {
+	g := mustGrid(t, 8, 8)
+	route, err := g.Route(Trip{From: Point{1, 1}, To: Point{4, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manhattan length + 1 endpoints: 3 + 2 + 1 = 6 intersections.
+	if len(route) != 6 {
+		t.Fatalf("route length = %d, want 6", len(route))
+	}
+	first, err := g.Loc(Point{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := g.Loc(Point{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[0] != first || route[len(route)-1] != last {
+		t.Error("route endpoints wrong")
+	}
+	// Reverse direction also works.
+	back, err := g.Route(Trip{From: Point{4, 3}, To: Point{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 6 {
+		t.Errorf("reverse route length = %d", len(back))
+	}
+	// Degenerate trip.
+	self, err := g.Route(Trip{From: Point{2, 2}, To: Point{2, 2}})
+	if err != nil || len(self) != 1 {
+		t.Errorf("self trip: %v, %v", self, err)
+	}
+	if _, err := g.Route(Trip{From: Point{-1, 0}, To: Point{1, 1}}); !errors.Is(err, ErrOffGrid) {
+		t.Errorf("off-grid trip err = %v", err)
+	}
+}
+
+func TestWorldGroundTruth(t *testing.T) {
+	g := mustGrid(t, 6, 6)
+	w, err := NewWorld(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCommuters(100, Trip{From: Point{0, 0}, To: Point{5, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCommuters(50, Trip{From: Point{0, 5}, To: Point{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Commuters() != 150 {
+		t.Fatalf("commuters = %d", w.Commuters())
+	}
+	locMid, err := g.Loc(Point{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	locTop, err := g.Loc(Point{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CommutersThrough(locMid); got != 100 {
+		t.Errorf("through mid = %d, want 100", got)
+	}
+	if got := w.CommutersThrough(locTop); got != 50 {
+		t.Errorf("through top = %d, want 50", got)
+	}
+	if got := w.CommutersThroughBoth(locMid, locTop); got != 0 {
+		t.Errorf("through both = %d, want 0 (disjoint corridors)", got)
+	}
+	locMid2, err := g.Loc(Point{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CommutersThroughBoth(locMid, locMid2); got != 100 {
+		t.Errorf("through corridor pair = %d, want 100", got)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(nil, 3, 1); err == nil {
+		t.Error("nil grid accepted")
+	}
+	g := mustGrid(t, 2, 2)
+	if _, err := NewWorld(g, 0, 1); !errors.Is(err, vhash.ErrInvalidS) {
+		t.Errorf("s=0 err = %v", err)
+	}
+	w, err := NewWorld(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCommuters(-1, Trip{}); !errors.Is(err, ErrBadCount) {
+		t.Errorf("negative commuters err = %v", err)
+	}
+	if err := w.AddCommuters(1, Trip{From: Point{9, 9}}); !errors.Is(err, ErrOffGrid) {
+		t.Errorf("off-grid commuters err = %v", err)
+	}
+	if err := w.SetBackgroundTrips(-1); !errors.Is(err, ErrBadCount) {
+		t.Errorf("negative background err = %v", err)
+	}
+}
+
+func TestDayVisits(t *testing.T) {
+	g := mustGrid(t, 4, 4)
+	w, err := NewWorld(g, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCommuters(10, Trip{From: Point{0, 0}, To: Point{3, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetBackgroundTrips(20); err != nil {
+		t.Fatal(err)
+	}
+	visits, err := w.Day()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := g.Loc(Point{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits[loc]) < 10 {
+		t.Errorf("corridor location saw %d visits, want >= 10 commuters", len(visits[loc]))
+	}
+	// Two days differ in background traffic but share commuters.
+	visits2, err := w.Day()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits2[loc]) < 10 {
+		t.Errorf("day 2 corridor visits = %d", len(visits2[loc]))
+	}
+}
+
+// TestMobilityEndToEnd: run a multi-day mobility simulation through the
+// real record/estimator pipeline and check both point and point-to-point
+// persistent estimates against mobility ground truth.
+func TestMobilityEndToEnd(t *testing.T) {
+	g := mustGrid(t, 5, 5)
+	w, err := NewWorld(g, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two commuter corridors crossing at (2,2).
+	if err := w.AddCommuters(300, Trip{From: Point{0, 2}, To: Point{4, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCommuters(200, Trip{From: Point{2, 0}, To: Point{2, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetBackgroundTrips(800); err != nil {
+		t.Fatal(err)
+	}
+
+	const days = 5
+	locA, err := g.Loc(Point{1, 2}) // horizontal corridor only
+	if err != nil {
+		t.Fatal(err)
+	}
+	locB, err := g.Loc(Point{3, 2}) // horizontal corridor only
+	if err != nil {
+		t.Fatal(err)
+	}
+	recsA := make([]*record.Record, 0, days)
+	recsB := make([]*record.Record, 0, days)
+	for day := 1; day <= days; day++ {
+		visits, err := w.Day()
+		if err != nil {
+			t.Fatal(err)
+		}
+		build := func(loc vhash.LocationID) *record.Record {
+			vs := visits[loc]
+			m := 1 << 11 // ~f=2 for the corridor volumes here
+			rec, err := record.New(loc, record.PeriodID(day), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range vs {
+				rec.Bitmap.Set(v.Index(loc, m))
+			}
+			return rec
+		}
+		recsA = append(recsA, build(locA))
+		recsB = append(recsB, build(locB))
+	}
+	setA, err := record.NewSet(recsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setB, err := record.NewSet(recsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truthA := float64(w.CommutersThrough(locA))
+	point, err := core.EstimatePoint(setA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(point.Estimate-truthA) / truthA; re > 0.25 {
+		t.Errorf("point estimate %v vs truth %v (rel err %.3f)", point.Estimate, truthA, re)
+	}
+
+	truthAB := float64(w.CommutersThroughBoth(locA, locB))
+	p2p, err := core.EstimatePointToPoint(setA, setB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(p2p.Estimate-truthAB) / truthAB; re > 0.3 {
+		t.Errorf("p2p estimate %v vs truth %v (rel err %.3f)", p2p.Estimate, truthAB, re)
+	}
+}

@@ -1,0 +1,150 @@
+// Package mrbitmap implements a multiresolution bitmap in the style of
+// Estan, Varghese and Fisk ("Bitmap Algorithms for Counting Active Flows",
+// IEEE/ACM ToN 2006) — reference [21] of the paper.
+//
+// The paper's Eq. (2) sizes a plain bitmap from the location's historical
+// average volume; a new RSU with no history (or a location whose volume
+// swings by orders of magnitude) has no good m. A multiresolution bitmap
+// solves this: vehicles are sampled into c components with geometrically
+// decreasing probabilities, so some component always operates at a
+// countable load no matter the true volume. The estimator combines every
+// component at or above the finest unsaturated one.
+//
+// Note that a multiresolution record supports volume estimation only; the
+// persistent-traffic joins of Sections III-IV need the plain bitmap's
+// deterministic vehicle-to-bit mapping. This substrate is for the plain
+// per-period measurements that feed AADT-style analyses when Eq. (2)
+// cannot be applied.
+package mrbitmap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ptm/internal/bitmap"
+	"ptm/internal/lpc"
+)
+
+// Configuration limits.
+const (
+	MinComponents = 2
+	MaxComponents = 32
+)
+
+// Errors.
+var (
+	ErrBadComponents = errors.New("mrbitmap: component count out of range")
+	ErrSaturated     = errors.New("mrbitmap: all components saturated")
+)
+
+// DefaultSetMax is the saturation threshold fraction: a component whose
+// ones-fraction exceeds this is considered too collision-heavy to anchor
+// the estimate (Estan et al. use a comparable occupancy cutoff).
+const DefaultSetMax = 0.9
+
+// Sketch is a multiresolution bitmap with c components of b bits each.
+// Component i receives a vehicle with probability 2^-(i+1), except the
+// last, which absorbs the remaining tail probability 2^-(c-1).
+type Sketch struct {
+	comps []*bitmap.Bitmap
+	b     int
+}
+
+// New creates a sketch with c components of b bits each. b must be a
+// valid bitmap size (power of two >= 64).
+func New(c, b int) (*Sketch, error) {
+	if c < MinComponents || c > MaxComponents {
+		return nil, fmt.Errorf("%w: %d not in [%d, %d]", ErrBadComponents, c, MinComponents, MaxComponents)
+	}
+	comps := make([]*bitmap.Bitmap, c)
+	for i := range comps {
+		bm, err := bitmap.New(b)
+		if err != nil {
+			return nil, err
+		}
+		comps[i] = bm
+	}
+	return &Sketch{comps: comps, b: b}, nil
+}
+
+// Components and Bits describe the sketch geometry.
+func (s *Sketch) Components() int { return len(s.comps) }
+
+// Bits returns the per-component bitmap size.
+func (s *Sketch) Bits() int { return s.b }
+
+// MemoryBits returns the total memory footprint in bits.
+func (s *Sketch) MemoryBits() int { return len(s.comps) * s.b }
+
+// component returns the component index a 64-bit hash selects: the number
+// of trailing one bits, capped at the last component. P(i) = 2^-(i+1) for
+// i < c-1 and 2^-(c-1) for the last.
+func (s *Sketch) component(h uint64) int {
+	i := bits.TrailingZeros64(^h) // trailing ones of h
+	if i >= len(s.comps)-1 {
+		return len(s.comps) - 1
+	}
+	return i
+}
+
+// probability returns the selection probability of component i.
+func (s *Sketch) probability(i int) float64 {
+	if i == len(s.comps)-1 {
+		return math.Pow(2, -float64(len(s.comps)-1))
+	}
+	return math.Pow(2, -float64(i+1))
+}
+
+// Add records one vehicle from its full-width hash (e.g.
+// vhash.Identity.Hash). The low bits choose the component; exactly the
+// consumed bits are discarded, so the bit position within the component
+// is independent of the selection.
+func (s *Sketch) Add(h uint64) {
+	i := s.component(h)
+	consumed := i + 1 // i trailing ones plus the terminating zero
+	if i == len(s.comps)-1 {
+		consumed = len(s.comps) - 1
+	}
+	s.comps[i].Set(h >> consumed)
+}
+
+// Estimate returns the estimated number of distinct vehicles added.
+//
+// It finds the finest component whose occupancy is below setMax (0 means
+// DefaultSetMax), then combines that component and all coarser ones:
+// each contributes its linear-counting estimate, and the sum is scaled by
+// the inverse of the combined selection probability.
+func (s *Sketch) Estimate(setMax float64) (float64, error) {
+	if setMax == 0 {
+		setMax = DefaultSetMax
+	}
+	base := -1
+	for i, c := range s.comps {
+		if c.FractionOne() <= setMax {
+			base = i
+			break
+		}
+	}
+	if base == -1 {
+		return 0, ErrSaturated
+	}
+	var sum, pTail float64
+	for i := base; i < len(s.comps); i++ {
+		est, err := lpc.Estimate(s.b, s.comps[i].FractionZero())
+		if err != nil {
+			return 0, fmt.Errorf("mrbitmap: component %d: %w", i, err)
+		}
+		sum += est
+		pTail += s.probability(i)
+	}
+	return sum / pTail, nil
+}
+
+// Reset clears every component.
+func (s *Sketch) Reset() {
+	for _, c := range s.comps {
+		c.Reset()
+	}
+}

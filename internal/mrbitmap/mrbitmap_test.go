@@ -1,0 +1,182 @@
+package mrbitmap
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ptm/internal/vhash"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []int{0, 1, 33} {
+		if _, err := New(c, 512); !errors.Is(err, ErrBadComponents) {
+			t.Errorf("c=%d err = %v", c, err)
+		}
+	}
+	if _, err := New(8, 100); err == nil {
+		t.Error("non-power-of-two component size accepted")
+	}
+	s, err := New(8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Components() != 8 || s.Bits() != 512 || s.MemoryBits() != 8*512 {
+		t.Errorf("geometry: %d/%d/%d", s.Components(), s.Bits(), s.MemoryBits())
+	}
+}
+
+func TestComponentProbabilities(t *testing.T) {
+	s, err := New(6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical component selection over many uniform hashes.
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 6)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.component(rng.Uint64())]++
+	}
+	for i := 0; i < 6; i++ {
+		want := s.probability(i)
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("component %d frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+	// Probabilities must sum to 1.
+	var sum float64
+	for i := 0; i < 6; i++ {
+		sum += s.probability(i)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+// TestWideRangeAccuracy is the point of the structure: one fixed-memory
+// sketch counts accurately across four orders of magnitude, where a plain
+// bitmap of the same memory saturates.
+func TestWideRangeAccuracy(t *testing.T) {
+	for _, n := range []int{500, 5000, 50000, 500000} {
+		s, err := New(16, 4096) // 8 KiB total
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			s.Add(rng.Uint64())
+		}
+		got, err := s.Estimate(0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if re := math.Abs(got-float64(n)) / float64(n); re > 0.1 {
+			t.Errorf("n=%d estimate %.0f (rel err %.3f)", n, got, re)
+		}
+	}
+}
+
+// TestVehicleHashes: sketches fed from the real vehicle-encoding hash
+// behave like sketches fed uniform randomness.
+func TestVehicleHashes(t *testing.T) {
+	s, err := New(12, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v, err := vhash.NewSeededIdentity(vhash.VehicleID(i), 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(v.Hash(9))
+	}
+	got, err := s.Estimate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(got-n) / n; re > 0.1 {
+		t.Errorf("estimate %.0f vs %d (rel err %.3f)", got, n, re)
+	}
+}
+
+func TestDuplicatesNotDoubleCounted(t *testing.T) {
+	s, err := New(8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	hashes := make([]uint64, 800)
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+	}
+	for rep := 0; rep < 5; rep++ { // each vehicle seen five times
+		for _, h := range hashes {
+			s.Add(h)
+		}
+	}
+	got, err := s.Estimate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(got-800) / 800; re > 0.12 {
+		t.Errorf("estimate %.0f vs 800 distinct (rel err %.3f)", got, re)
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s, err := New(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Estimate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("empty estimate = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, err := New(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	s.Reset()
+	got, err := s.Estimate(0)
+	if err != nil || got != 0 {
+		t.Errorf("after reset: %v, %v", got, err)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	s, err := New(2, 64) // tiny: easily saturated
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		s.Add(rng.Uint64())
+	}
+	if _, err := s.Estimate(0); !errors.Is(err, ErrSaturated) {
+		t.Errorf("err = %v, want ErrSaturated", err)
+	}
+}
+
+// BenchmarkMRBAdd measures per-vehicle insertion cost.
+func BenchmarkMRBAdd(b *testing.B) {
+	s, err := New(16, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

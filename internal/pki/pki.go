@@ -1,0 +1,176 @@
+// Package pki simulates the trust infrastructure of Section II-B: a
+// trusted third party issues public-key certificates to RSUs; vehicles
+// hold the third party's public key pre-installed and verify an RSU's
+// certificate before responding to its beacons. Rogue RSUs (whose
+// certificates do not chain to the trusted party) fail verification and
+// are ignored.
+//
+// The implementation uses ECDSA P-256 and x509 from the standard library.
+// The specific certificate profile of a DSRC deployment is irrelevant to
+// the measurement algorithms; what matters — and what this package
+// enforces — is the trust decision and the authenticated binding between
+// a beacon and a location.
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"ptm/internal/vhash"
+)
+
+// Errors returned by verification.
+var (
+	ErrUntrusted        = errors.New("pki: certificate not signed by the trusted authority")
+	ErrExpired          = errors.New("pki: certificate outside its validity window")
+	ErrLocationMismatch = errors.New("pki: certificate issued for a different location")
+	ErrBadSignature     = errors.New("pki: beacon signature invalid")
+)
+
+// Authority is the trusted third party. It signs RSU certificates; its
+// public key ships pre-installed in every vehicle.
+type Authority struct {
+	key  *ecdsa.PrivateKey
+	cert *x509.Certificate
+	pool *x509.CertPool
+}
+
+// NewAuthority creates a self-signed root authority valid for the given
+// duration starting at now.
+func NewAuthority(now time.Time, validity time.Duration) (*Authority, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generating authority key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "PTM Transportation Authority"},
+		NotBefore:             now,
+		NotAfter:              now.Add(validity),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: self-signing authority: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parsing authority cert: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &Authority{key: key, cert: cert, pool: pool}, nil
+}
+
+// TrustAnchor returns the verifier vehicles pre-install.
+func (a *Authority) TrustAnchor() *Verifier {
+	return &Verifier{pool: a.pool}
+}
+
+// Credential is an RSU's signing credential: its certificate (bound to its
+// location) and private key.
+type Credential struct {
+	Location vhash.LocationID
+	certDER  []byte
+	key      *ecdsa.PrivateKey
+}
+
+// IssueRSU issues a credential for an RSU at the given location, valid for
+// the given window. The location is embedded in the certificate's common
+// name and SerialNumber-adjacent extension so vehicles can bind beacons to
+// locations.
+func (a *Authority) IssueRSU(loc vhash.LocationID, now time.Time, validity time.Duration) (*Credential, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generating RSU key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 64))
+	if err != nil {
+		return nil, fmt.Errorf("pki: drawing serial: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: fmt.Sprintf("rsu-%d", loc)},
+		NotBefore:    now,
+		NotAfter:     now.Add(validity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.cert, &key.PublicKey, a.key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: signing RSU cert: %w", err)
+	}
+	return &Credential{Location: loc, certDER: der, key: key}, nil
+}
+
+// CertificateDER returns the credential's certificate in DER form, as
+// broadcast in beacons.
+func (c *Credential) CertificateDER() []byte { return c.certDER }
+
+// SignBeacon signs the beacon fields (location, bitmap size, period) so a
+// vehicle can verify that the beacon content is authentic, not just that
+// some valid certificate was replayed alongside tampered fields.
+func (c *Credential) SignBeacon(loc vhash.LocationID, m int, period uint32) ([]byte, error) {
+	digest := beaconDigest(loc, m, period)
+	sig, err := ecdsa.SignASN1(rand.Reader, c.key, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("pki: signing beacon: %w", err)
+	}
+	return sig, nil
+}
+
+func beaconDigest(loc vhash.LocationID, m int, period uint32) [32]byte {
+	var buf [20]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(loc))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(m))
+	binary.LittleEndian.PutUint32(buf[16:20], period)
+	return sha256.Sum256(buf[:])
+}
+
+// Verifier is the vehicle-side trust anchor.
+type Verifier struct {
+	pool *x509.CertPool
+}
+
+// VerifyBeacon checks that certDER chains to the trusted authority, is
+// valid at time now, matches the claimed location, and that sig covers the
+// beacon fields. It returns the verified certificate on success.
+func (v *Verifier) VerifyBeacon(certDER []byte, loc vhash.LocationID, m int, period uint32, sig []byte, now time.Time) (*x509.Certificate, error) {
+	cert, err := x509.ParseCertificate(certDER)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parsing beacon certificate: %w", err)
+	}
+	if _, err := cert.Verify(x509.VerifyOptions{
+		Roots:       v.pool,
+		CurrentTime: now,
+		KeyUsages:   []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		var inv x509.CertificateInvalidError
+		if errors.As(err, &inv) && inv.Reason == x509.Expired {
+			return nil, fmt.Errorf("%w: %v", ErrExpired, err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUntrusted, err)
+	}
+	if want := fmt.Sprintf("rsu-%d", loc); cert.Subject.CommonName != want {
+		return nil, fmt.Errorf("%w: cert for %q, beacon claims %q", ErrLocationMismatch, cert.Subject.CommonName, want)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: unexpected key type %T", ErrBadSignature, cert.PublicKey)
+	}
+	digest := beaconDigest(loc, m, period)
+	if !ecdsa.VerifyASN1(pub, digest[:], sig) {
+		return nil, ErrBadSignature
+	}
+	return cert, nil
+}

@@ -1,0 +1,143 @@
+package pki
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func newAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority(t0, 365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBeaconVerifyHappyPath(t *testing.T) {
+	a := newAuthority(t)
+	cred, err := a.IssueRSU(42, t0, 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := cred.SignBeacon(42, 1<<16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := a.TrustAnchor()
+	cert, err := v.VerifyBeacon(cred.CertificateDER(), 42, 1<<16, 7, sig, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("VerifyBeacon: %v", err)
+	}
+	if cert.Subject.CommonName != "rsu-42" {
+		t.Errorf("CommonName = %q", cert.Subject.CommonName)
+	}
+}
+
+func TestRogueRSURejected(t *testing.T) {
+	real := newAuthority(t)
+	rogue := newAuthority(t) // a different, untrusted authority
+	cred, err := rogue.IssueRSU(42, t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := cred.SignBeacon(42, 1<<16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = real.TrustAnchor().VerifyBeacon(cred.CertificateDER(), 42, 1<<16, 1, sig, t0)
+	if !errors.Is(err, ErrUntrusted) {
+		t.Errorf("err = %v, want ErrUntrusted", err)
+	}
+}
+
+func TestExpiredCertificateRejected(t *testing.T) {
+	a := newAuthority(t)
+	cred, err := a.IssueRSU(1, t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := cred.SignBeacon(1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.TrustAnchor().VerifyBeacon(cred.CertificateDER(), 1, 64, 1, sig, t0.Add(2*time.Hour))
+	if !errors.Is(err, ErrExpired) {
+		t.Errorf("err = %v, want ErrExpired", err)
+	}
+	// Also before NotBefore.
+	_, err = a.TrustAnchor().VerifyBeacon(cred.CertificateDER(), 1, 64, 1, sig, t0.Add(-time.Hour))
+	if !errors.Is(err, ErrExpired) {
+		t.Errorf("early err = %v, want ErrExpired", err)
+	}
+}
+
+func TestLocationMismatchRejected(t *testing.T) {
+	a := newAuthority(t)
+	cred, err := a.IssueRSU(5, t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A (hypothetically compromised) RSU replays its valid cert while
+	// claiming another location in the beacon.
+	sig, err := cred.SignBeacon(6, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.TrustAnchor().VerifyBeacon(cred.CertificateDER(), 6, 64, 1, sig, t0)
+	if !errors.Is(err, ErrLocationMismatch) {
+		t.Errorf("err = %v, want ErrLocationMismatch", err)
+	}
+}
+
+func TestTamperedBeaconRejected(t *testing.T) {
+	a := newAuthority(t)
+	cred, err := a.IssueRSU(5, t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := cred.SignBeacon(5, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same location, altered bitmap size: signature must not verify.
+	_, err = a.TrustAnchor().VerifyBeacon(cred.CertificateDER(), 5, 128, 1, sig, t0)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Errorf("altered m err = %v, want ErrBadSignature", err)
+	}
+	// Altered period.
+	_, err = a.TrustAnchor().VerifyBeacon(cred.CertificateDER(), 5, 64, 2, sig, t0)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Errorf("altered period err = %v, want ErrBadSignature", err)
+	}
+	// Garbage signature.
+	_, err = a.TrustAnchor().VerifyBeacon(cred.CertificateDER(), 5, 64, 1, []byte{1, 2, 3}, t0)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Errorf("garbage sig err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestGarbageCertificateRejected(t *testing.T) {
+	a := newAuthority(t)
+	if _, err := a.TrustAnchor().VerifyBeacon([]byte("not a cert"), 1, 64, 1, nil, t0); err == nil {
+		t.Error("garbage DER accepted")
+	}
+}
+
+func TestCredentialsAreDistinct(t *testing.T) {
+	a := newAuthority(t)
+	c1, err := a.IssueRSU(1, t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := a.IssueRSU(1, t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1.CertificateDER()) == string(c2.CertificateDER()) {
+		t.Error("two issued certificates are identical")
+	}
+}

@@ -1,0 +1,71 @@
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// TLS credentials for the RSU <-> central-server backhaul. The paper's
+// model encrypts all exchanges; the backhaul carries traffic records and
+// query results, so a deployment terminates it with TLS under the same
+// transportation authority that vouches for RSUs.
+
+// IssueTLSServer issues a TLS server certificate for the central server
+// reachable at host (DNS name or IP literal), signed by the authority.
+func (a *Authority) IssueTLSServer(host string, now time.Time, validity time.Duration) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("pki: generating TLS key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 64))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("pki: drawing serial: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: "ptm-central"},
+		NotBefore:    now,
+		NotAfter:     now.Add(validity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		tmpl.IPAddresses = []net.IP{ip}
+	} else {
+		tmpl.DNSNames = []string{host}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.cert, &key.PublicKey, a.key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("pki: signing TLS cert: %w", err)
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der},
+		PrivateKey:  key,
+	}, nil
+}
+
+// ServerTLSConfig wraps an issued certificate into a TLS config for
+// tls.NewListener.
+func ServerTLSConfig(cert tls.Certificate) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}
+}
+
+// ClientTLSConfig returns a TLS config that trusts servers certified by
+// this authority.
+func (a *Authority) ClientTLSConfig() *tls.Config {
+	return &tls.Config{
+		RootCAs:    a.pool.Clone(),
+		MinVersion: tls.VersionTLS13,
+	}
+}

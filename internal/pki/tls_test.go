@@ -1,0 +1,35 @@
+package pki
+
+import (
+	"crypto/tls"
+	"testing"
+	"time"
+)
+
+func TestIssueTLSServerAndConfigs(t *testing.T) {
+	a := newAuthority(t)
+	cert, err := a.IssueTLSServer("127.0.0.1", t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Certificate) != 1 || cert.PrivateKey == nil {
+		t.Fatalf("certificate shape: %d chains", len(cert.Certificate))
+	}
+	srvCfg := ServerTLSConfig(cert)
+	if srvCfg.MinVersion != tls.VersionTLS13 || len(srvCfg.Certificates) != 1 {
+		t.Errorf("server config: %+v", srvCfg)
+	}
+	cliCfg := a.ClientTLSConfig()
+	if cliCfg.MinVersion != tls.VersionTLS13 || cliCfg.RootCAs == nil {
+		t.Errorf("client config: %+v", cliCfg)
+	}
+
+	// DNS-name variant.
+	dnsCert, err := a.IssueTLSServer("central.example.com", t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dnsCert.Certificate) != 1 {
+		t.Error("dns cert missing chain")
+	}
+}

@@ -1,0 +1,138 @@
+// Package privacy implements the paper's privacy analysis (Section V): the
+// probabilistic noise p, the information p′, and the noise-to-information
+// ratio p/(p′−p) that quantifies how questionable any tracking inference
+// drawn from traffic records is. It also provides the asymptotic forms
+// used to generate Table II and accuracy–privacy sweep helpers.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Parameter errors.
+var (
+	ErrBadM = errors.New("privacy: bitmap size must be >= 2")
+	ErrBadN = errors.New("privacy: vehicle count must be non-negative")
+	ErrBadS = errors.New("privacy: s must be >= 1")
+	ErrBadF = errors.New("privacy: load factor must be positive")
+)
+
+// Noise returns p (Eq. 22): the probability that bit B′[i] at another
+// location is one even though vehicle v never passed there, because any of
+// the n′ vehicles that did pass may have set it.
+func Noise(nPrime float64, mPrime int) (float64, error) {
+	if mPrime < 2 {
+		return 0, fmt.Errorf("%w: %d", ErrBadM, mPrime)
+	}
+	if nPrime < 0 {
+		return 0, fmt.Errorf("%w: %v", ErrBadN, nPrime)
+	}
+	return 1 - math.Pow(1-1/float64(mPrime), nPrime), nil
+}
+
+// Information returns p′ (Eq. 23): the probability that B′[i] is one when
+// v did pass L′. The vehicle sets the observed index with probability 1/s
+// (one of its s representative bits), on top of the ambient noise p.
+func Information(p float64, s int) (float64, error) {
+	if s < 1 {
+		return 0, fmt.Errorf("%w: %d", ErrBadS, s)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("privacy: p = %v outside [0,1]", p)
+	}
+	return p + (1-p)/float64(s), nil
+}
+
+// Ratio returns the probabilistic noise-to-information ratio p/(p′−p)
+// (Eq. 24) for a location with n′ vehicles, an m′-bit record and s
+// representative bits. Values above 1 mean the noise outweighs the
+// tracking signal; the paper recommends parameters keeping it ≈ 2.
+func Ratio(nPrime float64, mPrime int, s int) (float64, error) {
+	p, err := Noise(nPrime, mPrime)
+	if err != nil {
+		return 0, err
+	}
+	if s < 1 {
+		return 0, fmt.Errorf("%w: %d", ErrBadS, s)
+	}
+	if p >= 1 {
+		return math.Inf(1), nil
+	}
+	// p / ((1-p)/s) = s·p/(1-p).
+	return float64(s) * p / (1 - p), nil
+}
+
+// AsymptoticNoise returns the large-m′ limit of p when the record is sized
+// by Eq. (2) with load factor f, i.e. m′ = f·n′:
+//
+//	p → 1 − e^{−1/f}.
+//
+// This is the quantity in the last row of Table II (p depends only on f).
+func AsymptoticNoise(f float64) (float64, error) {
+	if f <= 0 {
+		return 0, fmt.Errorf("%w: %v", ErrBadF, f)
+	}
+	return 1 - math.Exp(-1/f), nil
+}
+
+// AsymptoticRatio returns the large-m′ limit of the noise-to-information
+// ratio under load factor f and representative-bit count s:
+//
+//	ratio → s·(e^{1/f} − 1),
+//
+// the body of Table II.
+func AsymptoticRatio(f float64, s int) (float64, error) {
+	if f <= 0 {
+		return 0, fmt.Errorf("%w: %v", ErrBadF, f)
+	}
+	if s < 1 {
+		return 0, fmt.Errorf("%w: %d", ErrBadS, s)
+	}
+	return float64(s) * (math.Exp(1/f) - 1), nil
+}
+
+// Profile bundles the privacy numbers for one parameter point.
+type Profile struct {
+	F     float64 // load factor
+	S     int     // representative bits
+	Noise float64 // p
+	Info  float64 // p′ − p
+	Ratio float64 // p / (p′ − p)
+}
+
+// Evaluate computes the asymptotic privacy profile at (f, s).
+func Evaluate(f float64, s int) (Profile, error) {
+	p, err := AsymptoticNoise(f)
+	if err != nil {
+		return Profile{}, err
+	}
+	r, err := AsymptoticRatio(f, s)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{F: f, S: s, Noise: p, Info: (1 - p) / float64(s), Ratio: r}, nil
+}
+
+// Sweep evaluates the profile over the cartesian product of load factors
+// and s values, in row-major (s-major) order — the shape of Table II.
+func Sweep(fs []float64, ss []int) ([]Profile, error) {
+	out := make([]Profile, 0, len(fs)*len(ss))
+	for _, s := range ss {
+		for _, f := range fs {
+			p, err := Evaluate(f, s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// TableIIFs and TableIISs are the parameter grids of the paper's Table II.
+var (
+	TableIIFs = []float64{1, 1.5, 2, 2.5, 3, 3.5, 4}
+	TableIISs = []int{2, 3, 4, 5}
+)

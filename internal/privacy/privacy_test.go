@@ -1,0 +1,230 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func almost(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestNoise(t *testing.T) {
+	// p = 1 - (1-1/m')^{n'}.
+	p, err := Noise(0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("Noise(0) = %v, want 0", p)
+	}
+	p, err = Noise(1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(1-1.0/1024, 1024) // ~ 1 - 1/e
+	if !almost(p, want, 1e-12) {
+		t.Errorf("Noise = %v, want %v", p, want)
+	}
+	if !almost(p, 1-1/math.E, 1e-3) {
+		t.Errorf("Noise(m'=n') = %v, want ~%v", p, 1-1/math.E)
+	}
+}
+
+func TestNoiseErrors(t *testing.T) {
+	if _, err := Noise(10, 1); !errors.Is(err, ErrBadM) {
+		t.Errorf("m=1 err = %v", err)
+	}
+	if _, err := Noise(-1, 64); !errors.Is(err, ErrBadN) {
+		t.Errorf("n<0 err = %v", err)
+	}
+}
+
+func TestInformation(t *testing.T) {
+	pp, err := Information(0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pp, 0.4+0.6/3, 1e-12) {
+		t.Errorf("Information = %v", pp)
+	}
+	if _, err := Information(0.4, 0); !errors.Is(err, ErrBadS) {
+		t.Errorf("s=0 err = %v", err)
+	}
+	if _, err := Information(1.5, 3); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := Information(-0.1, 3); err == nil {
+		t.Error("p<0 accepted")
+	}
+}
+
+func TestRatioConsistentWithParts(t *testing.T) {
+	nPrime, mPrime, s := 451000.0, 1<<20, 3
+	p, err := Noise(nPrime, mPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Information(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Ratio(nPrime, mPrime, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, p/(pp-p), 1e-9) {
+		t.Errorf("Ratio %v != p/(p'-p) %v", r, p/(pp-p))
+	}
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	if _, err := Ratio(10, 64, 0); !errors.Is(err, ErrBadS) {
+		t.Errorf("s=0 err = %v", err)
+	}
+	if _, err := Ratio(10, 1, 3); !errors.Is(err, ErrBadM) {
+		t.Errorf("m=1 err = %v", err)
+	}
+	// Overwhelming traffic: p -> 1, ratio -> inf.
+	r, err := Ratio(1e9, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r, 1) {
+		t.Errorf("saturated ratio = %v, want +Inf", r)
+	}
+}
+
+// TestTableII pins the asymptotic formulas to the paper's Table II values.
+func TestTableII(t *testing.T) {
+	cases := []struct {
+		s    int
+		f    float64
+		want float64
+	}{
+		{2, 1, 3.4368},
+		{2, 2, 1.2975},
+		{2, 4, 0.5681},
+		{3, 1, 5.1553},
+		{3, 2, 1.9462},
+		{3, 3, 1.1869},
+		{4, 2, 2.5950},
+		{4, 2.5, 1.9673},
+		{5, 1, 8.5921},
+		{5, 4, 1.4201},
+		{3, 1.5, 2.8433},
+		{3, 3.5, 0.9922},
+	}
+	for _, tc := range cases {
+		got, err := AsymptoticRatio(tc.f, tc.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper evidently evaluated Table II at a finite m' (its
+		// entries sit ~1e-4 above the asymptotic limit), so pin to 1e-3.
+		if !almost(got, tc.want, 1e-3) {
+			t.Errorf("ratio(f=%v, s=%d) = %.4f, want %.4f", tc.f, tc.s, got, tc.want)
+		}
+	}
+	noise := []struct {
+		f    float64
+		want float64
+	}{
+		{1, 0.6321}, {1.5, 0.4866}, {2, 0.3935}, {2.5, 0.3297},
+		{3, 0.2835}, {3.5, 0.2485}, {4, 0.2212},
+	}
+	for _, tc := range noise {
+		got, err := AsymptoticNoise(tc.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, tc.want, 5e-5) {
+			t.Errorf("p(f=%v) = %.4f, want %.4f", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestAsymptoticErrors(t *testing.T) {
+	if _, err := AsymptoticNoise(0); !errors.Is(err, ErrBadF) {
+		t.Errorf("f=0 err = %v", err)
+	}
+	if _, err := AsymptoticRatio(-1, 3); !errors.Is(err, ErrBadF) {
+		t.Errorf("f<0 err = %v", err)
+	}
+	if _, err := AsymptoticRatio(2, 0); !errors.Is(err, ErrBadS) {
+		t.Errorf("s=0 err = %v", err)
+	}
+	if _, err := Evaluate(0, 3); err == nil {
+		t.Error("Evaluate(f=0) accepted")
+	}
+	if _, err := Evaluate(2, 0); err == nil {
+		t.Error("Evaluate(s=0) accepted")
+	}
+}
+
+// TestFiniteApproachesAsymptotic: the finite-m ratio converges to the
+// Table II limit as m' grows with m' = f·n'.
+func TestFiniteApproachesAsymptotic(t *testing.T) {
+	const f = 2.0
+	const s = 3
+	limit, err := AsymptoticRatio(f, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGap := math.Inf(1)
+	for _, mPrime := range []int{1 << 10, 1 << 14, 1 << 18} {
+		nPrime := float64(mPrime) / f
+		r, err := Ratio(nPrime, mPrime, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := math.Abs(r - limit)
+		if gap > prevGap {
+			t.Errorf("gap grew at m'=%d: %v > %v", mPrime, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 1e-3 {
+		t.Errorf("finite ratio still %.5f away from limit at m'=2^18", prevGap)
+	}
+}
+
+func TestEvaluateAndSweep(t *testing.T) {
+	p, err := Evaluate(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.Noise, 0.3935, 1e-4) || !almost(p.Ratio, 1.9462, 1e-4) {
+		t.Errorf("Evaluate(2,3) = %+v", p)
+	}
+	if !almost(p.Ratio, p.Noise/p.Info, 1e-9) {
+		t.Errorf("profile inconsistent: ratio %v vs noise/info %v", p.Ratio, p.Noise/p.Info)
+	}
+
+	grid, err := Sweep(TableIIFs, TableIISs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != len(TableIIFs)*len(TableIISs) {
+		t.Fatalf("sweep size = %d", len(grid))
+	}
+	// Monotonicity the paper reports: ratio increases with s, decreases
+	// with f.
+	for i := 1; i < len(grid); i++ {
+		a, b := grid[i-1], grid[i]
+		if a.S == b.S && b.F > a.F && b.Ratio >= a.Ratio {
+			t.Errorf("ratio should fall with f: %+v -> %+v", a, b)
+		}
+	}
+	for s := 1; s < len(TableIISs); s++ {
+		for fi := range TableIIFs {
+			lo := grid[(s-1)*len(TableIIFs)+fi]
+			hi := grid[s*len(TableIIFs)+fi]
+			if hi.Ratio <= lo.Ratio {
+				t.Errorf("ratio should rise with s at f=%v", lo.F)
+			}
+		}
+	}
+	if _, err := Sweep([]float64{0}, []int{3}); err == nil {
+		t.Error("sweep with bad f accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal: the record parser faces data from the network; it must
+// never panic and accepted inputs must round-trip byte-identically.
+func FuzzUnmarshal(f *testing.F) {
+	r, err := New(7, 3, 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r.Bitmap.Set(19)
+	good, err := r.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:recHeader])
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := rec.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("accepted record does not round-trip")
+		}
+	})
+}

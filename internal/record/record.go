@@ -1,0 +1,213 @@
+// Package record defines the traffic record — the only artifact an RSU ever
+// exports (Section II-D): a location, a measurement period, and a bitmap in
+// which passing vehicles each set one pseudo-random bit. No per-vehicle
+// identifying information exists in a record; estimation is purely
+// statistical.
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"ptm/internal/bitmap"
+	"ptm/internal/vhash"
+)
+
+// PeriodID numbers measurement periods (e.g. days) monotonically. The
+// authority chooses the period length; records only carry the ordinal.
+type PeriodID uint32
+
+// Record is one RSU's traffic record for one measurement period.
+type Record struct {
+	Location vhash.LocationID
+	Period   PeriodID
+	Bitmap   *bitmap.Bitmap
+}
+
+// Validation and codec errors.
+var (
+	ErrNilBitmap  = errors.New("record: nil bitmap")
+	ErrCorrupt    = errors.New("record: corrupt serialized data")
+	ErrEmptySet   = errors.New("record: empty record set")
+	ErrMixedSet   = errors.New("record: records from different locations")
+	ErrDupPeriod  = errors.New("record: duplicate period in set")
+	ErrPeriodSkew = errors.New("record: period sets differ between locations")
+)
+
+// New creates a record with a fresh all-zero bitmap of m bits.
+func New(loc vhash.LocationID, period PeriodID, m int) (*Record, error) {
+	b, err := bitmap.New(m)
+	if err != nil {
+		return nil, fmt.Errorf("record: sizing bitmap: %w", err)
+	}
+	return &Record{Location: loc, Period: period, Bitmap: b}, nil
+}
+
+// Validate checks structural invariants.
+func (r *Record) Validate() error {
+	if r.Bitmap == nil {
+		return ErrNilBitmap
+	}
+	return nil
+}
+
+// Size returns the record's bitmap size in bits.
+func (r *Record) Size() int { return r.Bitmap.Size() }
+
+// String summarizes the record.
+func (r *Record) String() string {
+	return fmt.Sprintf("record{loc=%d period=%d %v}", r.Location, r.Period, r.Bitmap)
+}
+
+// Serialized layout (little endian):
+//
+//	magic    uint32 "PTMR"
+//	version  uint8  1
+//	_        [3]byte
+//	location uint64
+//	period   uint32
+//	blen     uint32  length of the bitmap blob
+//	bitmap   blen bytes (bitmap.MarshalBinary, self-checksummed)
+const (
+	recMagic   = 0x524d5450 // "PTMR" little-endian
+	recVersion = 1
+	recHeader  = 4 + 1 + 3 + 8 + 4 + 4
+)
+
+// MarshalBinary serializes the record for upload to the central server.
+func (r *Record) MarshalBinary() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	blob, err := r.Bitmap.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("record: marshaling bitmap: %w", err)
+	}
+	out := make([]byte, recHeader+len(blob))
+	binary.LittleEndian.PutUint32(out[0:4], recMagic)
+	out[4] = recVersion
+	binary.LittleEndian.PutUint64(out[8:16], uint64(r.Location))
+	binary.LittleEndian.PutUint32(out[16:20], uint32(r.Period))
+	binary.LittleEndian.PutUint32(out[20:24], uint32(len(blob)))
+	copy(out[recHeader:], blob)
+	return out, nil
+}
+
+// Unmarshal parses a record serialized by MarshalBinary.
+func Unmarshal(data []byte) (*Record, error) {
+	if len(data) < recHeader {
+		return nil, fmt.Errorf("%w: short buffer (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != recMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != recVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, data[4])
+	}
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("%w: nonzero reserved bytes", ErrCorrupt)
+	}
+	blen := int(binary.LittleEndian.Uint32(data[20:24]))
+	if len(data) != recHeader+blen {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(data), recHeader+blen)
+	}
+	b, err := bitmap.Unmarshal(data[recHeader:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return &Record{
+		Location: vhash.LocationID(binary.LittleEndian.Uint64(data[8:16])),
+		Period:   PeriodID(binary.LittleEndian.Uint32(data[16:20])),
+		Bitmap:   b,
+	}, nil
+}
+
+// Set is the paper's Π: the records of interest from a single location,
+// one per measurement period.
+type Set struct {
+	loc  vhash.LocationID
+	recs []*Record
+}
+
+// NewSet validates and assembles a record set. All records must share one
+// location, have distinct periods, and carry valid bitmaps. The records
+// are sorted by period; the paper's Π_a/Π_b split (Section III-B) depends
+// on a deterministic order.
+func NewSet(recs []*Record) (*Set, error) {
+	if len(recs) == 0 {
+		return nil, ErrEmptySet
+	}
+	sorted := make([]*Record, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Period < sorted[j].Period })
+
+	loc := sorted[0].Location
+	seen := make(map[PeriodID]bool, len(sorted))
+	for _, r := range sorted {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if r.Location != loc {
+			return nil, fmt.Errorf("%w: %d and %d", ErrMixedSet, loc, r.Location)
+		}
+		if seen[r.Period] {
+			return nil, fmt.Errorf("%w: period %d", ErrDupPeriod, r.Period)
+		}
+		seen[r.Period] = true
+	}
+	return &Set{loc: loc, recs: sorted}, nil
+}
+
+// Location returns the common location of the set.
+func (s *Set) Location() vhash.LocationID { return s.loc }
+
+// Len returns t, the number of measurement periods in the set.
+func (s *Set) Len() int { return len(s.recs) }
+
+// Periods returns the sorted period IDs.
+func (s *Set) Periods() []PeriodID {
+	out := make([]PeriodID, len(s.recs))
+	for i, r := range s.recs {
+		out[i] = r.Period
+	}
+	return out
+}
+
+// Bitmaps returns the records' bitmaps in period order. The slice is fresh
+// but the bitmaps are shared; join pipelines must not mutate them in place.
+func (s *Set) Bitmaps() []*bitmap.Bitmap {
+	out := make([]*bitmap.Bitmap, len(s.recs))
+	for i, r := range s.recs {
+		out[i] = r.Bitmap
+	}
+	return out
+}
+
+// MaxSize returns m, the largest bitmap size in the set (Section III).
+func (s *Set) MaxSize() int {
+	m := 0
+	for _, r := range s.recs {
+		if r.Size() > m {
+			m = r.Size()
+		}
+	}
+	return m
+}
+
+// CheckAligned verifies that two sets cover exactly the same measurement
+// periods, the precondition for point-to-point persistent estimation
+// (Section IV: "during the same measurement periods").
+func CheckAligned(a, b *Set) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("%w: %d vs %d periods", ErrPeriodSkew, a.Len(), b.Len())
+	}
+	pa, pb := a.Periods(), b.Periods()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return fmt.Errorf("%w: period %d vs %d at index %d", ErrPeriodSkew, pa[i], pb[i], i)
+		}
+	}
+	return nil
+}

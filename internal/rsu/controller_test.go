@@ -1,0 +1,273 @@
+package rsu
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ptm/internal/dsrc"
+	"ptm/internal/record"
+)
+
+// fakeClock is a deterministic TickClock: After registers a waiter and
+// Advance fires the waiters whose deadlines have passed.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves time forward and fires due waiters.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var keep []fakeWaiter
+	var fire []fakeWaiter
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			fire = append(fire, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	now := c.now
+	c.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// BlockUntil polls until at least n waiters are registered.
+func (c *fakeClock) BlockUntil(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		got := len(c.waiters)
+		c.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("timed out waiting for clock waiters")
+}
+
+type controllerFixture struct {
+	w     *world
+	clock *fakeClock
+	ctl   *Controller
+
+	mu       sync.Mutex
+	uploads  []*record.Record
+	failures int // uploads to fail before succeeding
+}
+
+func newControllerFixture(t *testing.T, sched Schedule) *controllerFixture {
+	t.Helper()
+	f := &controllerFixture{w: newWorld(t, 9, dsrc.Config{}), clock: newFakeClock()}
+	upload := func(rec *record.Record) error {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.failures > 0 {
+			f.failures--
+			return errors.New("backhaul down")
+		}
+		f.uploads = append(f.uploads, rec)
+		return nil
+	}
+	expected := func(record.PeriodID) float64 { return 100 }
+	ctl, err := NewController(f.w.rsu, sched, upload, expected, f.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ctl = ctl
+	return f
+}
+
+func (f *controllerFixture) uploadCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.uploads)
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	w := newWorld(t, 3, dsrc.Config{})
+	up := func(*record.Record) error { return nil }
+	ex := func(record.PeriodID) float64 { return 1 }
+	good := Schedule{PeriodLength: time.Hour, BeaconInterval: time.Second}
+
+	if _, err := NewController(nil, good, up, ex, nil); !errors.Is(err, ErrNilDep) {
+		t.Errorf("nil rsu err = %v", err)
+	}
+	if _, err := NewController(w.rsu, good, nil, ex, nil); !errors.Is(err, ErrNilUpload) {
+		t.Errorf("nil upload err = %v", err)
+	}
+	if _, err := NewController(w.rsu, good, up, nil, nil); !errors.Is(err, ErrNilUpload) {
+		t.Errorf("nil expected err = %v", err)
+	}
+	for _, sched := range []Schedule{
+		{PeriodLength: time.Hour, BeaconInterval: 0},
+		{PeriodLength: 0, BeaconInterval: time.Second},
+		{PeriodLength: time.Second, BeaconInterval: time.Second},
+		{PeriodLength: time.Second, BeaconInterval: time.Minute},
+	} {
+		if _, err := NewController(w.rsu, sched, up, ex, nil); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("sched %+v err = %v", sched, err)
+		}
+	}
+	if _, err := NewController(w.rsu, Schedule{PeriodLength: time.Hour, BeaconInterval: time.Second, UploadRetries: -1}, up, ex, nil); err == nil {
+		t.Error("negative retries accepted")
+	}
+}
+
+func TestControllerPeriodsAndBeacons(t *testing.T) {
+	sched := Schedule{
+		PeriodLength:   10 * time.Second,
+		BeaconInterval: time.Second,
+		FirstPeriod:    1,
+	}
+	f := newControllerFixture(t, sched)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.ctl.Run(ctx) }()
+
+	// Drive two full periods: 10 beacon ticks each.
+	for tick := 0; tick < 20; tick++ {
+		f.clock.BlockUntil(t, 1)
+		f.clock.Advance(time.Second)
+	}
+	// After 2 periods, two records should have been uploaded.
+	waitFor(t, func() bool { return f.uploadCount() == 2 })
+
+	cancel()
+	f.clock.BlockUntil(t, 1) // third period's first beacon wait
+	f.clock.Advance(time.Second)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v", err)
+	}
+	// The period active at cancellation was closed and uploaded too.
+	if got := f.uploadCount(); got != 3 {
+		t.Errorf("uploads = %d, want 3 (two full + one partial)", got)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, rec := range f.uploads {
+		if rec.Period != record.PeriodID(i+1) {
+			t.Errorf("upload %d period = %d", i, rec.Period)
+		}
+		if rec.Location != 9 {
+			t.Errorf("upload %d location = %d", i, rec.Location)
+		}
+	}
+	if f.ctl.Uploaded() != 3 || f.ctl.Dropped() != 0 {
+		t.Errorf("counters: uploaded=%d dropped=%d", f.ctl.Uploaded(), f.ctl.Dropped())
+	}
+}
+
+func TestControllerUploadRetry(t *testing.T) {
+	sched := Schedule{
+		PeriodLength:   5 * time.Second,
+		BeaconInterval: time.Second,
+		FirstPeriod:    1,
+		UploadRetries:  3,
+		UploadBackoff:  2 * time.Second,
+	}
+	f := newControllerFixture(t, sched)
+	f.failures = 2 // first two attempts fail, third succeeds
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- f.ctl.Run(ctx) }()
+
+	// One period of beacons.
+	for tick := 0; tick < 5; tick++ {
+		f.clock.BlockUntil(t, 1)
+		f.clock.Advance(time.Second)
+	}
+	// Two backoff waits, then success.
+	f.clock.BlockUntil(t, 1)
+	f.clock.Advance(2 * time.Second)
+	f.clock.BlockUntil(t, 1)
+	f.clock.Advance(2 * time.Second)
+	waitFor(t, func() bool { return f.uploadCount() == 1 })
+	if f.ctl.Uploaded() != 1 || f.ctl.Dropped() != 0 {
+		t.Errorf("counters: uploaded=%d dropped=%d", f.ctl.Uploaded(), f.ctl.Dropped())
+	}
+	cancel()
+	f.clock.BlockUntil(t, 1)
+	f.clock.Advance(time.Second)
+	<-done
+}
+
+func TestControllerUploadDropAfterRetries(t *testing.T) {
+	sched := Schedule{
+		PeriodLength:   5 * time.Second,
+		BeaconInterval: time.Second,
+		FirstPeriod:    1,
+		UploadRetries:  1,
+		UploadBackoff:  time.Second,
+	}
+	f := newControllerFixture(t, sched)
+	f.failures = 10 // more than retries allow
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- f.ctl.Run(ctx) }()
+
+	for tick := 0; tick < 5; tick++ {
+		f.clock.BlockUntil(t, 1)
+		f.clock.Advance(time.Second)
+	}
+	f.clock.BlockUntil(t, 1)
+	f.clock.Advance(time.Second) // backoff before the one retry
+	waitFor(t, func() bool { return f.ctl.Dropped() == 1 })
+	if f.uploadCount() != 0 {
+		t.Errorf("uploads = %d, want 0", f.uploadCount())
+	}
+	cancel()
+	f.clock.BlockUntil(t, 1)
+	f.clock.Advance(time.Second)
+	<-done
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("condition not reached")
+}

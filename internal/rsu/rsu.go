@@ -1,0 +1,181 @@
+// Package rsu implements the road-side unit runtime of Section II-D: per
+// measurement period it maintains a bitmap sized by Eq. (2), broadcasts
+// signed beacons at preset intervals, folds incoming vehicle reports into
+// the bitmap, and at period end emits the traffic record for upload to the
+// central server. The RSU never stores any per-vehicle information.
+package rsu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ptm/internal/dsrc"
+	"ptm/internal/lpc"
+	"ptm/internal/pki"
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Errors.
+var (
+	ErrNoPeriod     = errors.New("rsu: no measurement period active")
+	ErrPeriodActive = errors.New("rsu: a measurement period is already active")
+	ErrNilDep       = errors.New("rsu: nil credential or channel")
+)
+
+// Clock abstracts time for deterministic tests.
+type Clock func() time.Time
+
+// RSU is one road-side unit.
+type RSU struct {
+	cred  *pki.Credential
+	ch    *dsrc.Channel
+	f     float64
+	clock Clock
+
+	mu       sync.Mutex
+	cur      *record.Record
+	dropped  uint64 // reports received with no/mismatched active period
+	seen     uint64 // reports folded into the current record
+	lastSeen uint64 // reports in the most recently completed period
+}
+
+// New wires an RSU to its radio channel. f is the system-wide load factor
+// of Eq. (2); clock may be nil for time.Now. The RSU registers itself as
+// the channel's report sink.
+func New(cred *pki.Credential, ch *dsrc.Channel, f float64, clock Clock) (*RSU, error) {
+	if cred == nil || ch == nil {
+		return nil, ErrNilDep
+	}
+	if f <= 0 {
+		return nil, fmt.Errorf("rsu: load factor must be positive, got %v", f)
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	r := &RSU{cred: cred, ch: ch, f: f, clock: clock}
+	if err := ch.AttachSink(r.handleReport); err != nil {
+		return nil, fmt.Errorf("rsu: attaching to channel: %w", err)
+	}
+	return r, nil
+}
+
+// Location returns the RSU's location.
+func (r *RSU) Location() vhash.LocationID { return r.cred.Location }
+
+// StartPeriod begins measurement period p with a fresh bitmap sized by
+// Eq. (2) from the expected traffic volume (historical average at this
+// location and time).
+func (r *RSU) StartPeriod(p record.PeriodID, expectedVolume float64) error {
+	m, err := lpc.BitmapSize(expectedVolume, r.f)
+	if err != nil {
+		return fmt.Errorf("rsu: sizing period %d: %w", p, err)
+	}
+	rec, err := record.New(r.cred.Location, p, m)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur != nil {
+		return fmt.Errorf("%w: period %d", ErrPeriodActive, r.cur.Period)
+	}
+	r.cur = rec
+	r.seen = 0
+	return nil
+}
+
+// Beacon broadcasts one signed beacon for the active period. Deployments
+// call this on a ticker ("once per second"); simulations call it once per
+// simulated vehicle wave.
+func (r *RSU) Beacon() error {
+	r.mu.Lock()
+	cur := r.cur
+	r.mu.Unlock()
+	if cur == nil {
+		return ErrNoPeriod
+	}
+	sig, err := r.cred.SignBeacon(r.cred.Location, cur.Size(), uint32(cur.Period))
+	if err != nil {
+		return err
+	}
+	return r.ch.Broadcast(dsrc.Beacon{
+		Location: r.cred.Location,
+		M:        cur.Size(),
+		Period:   cur.Period,
+		CertDER:  r.cred.CertificateDER(),
+		Sig:      sig,
+	})
+}
+
+// handleReport folds one vehicle report into the active bitmap. Reports
+// for other periods (stale or clock-skewed vehicles) are dropped.
+func (r *RSU) handleReport(rep dsrc.Report) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil || rep.Period != r.cur.Period {
+		r.dropped++
+		return
+	}
+	r.cur.Bitmap.Set(rep.Index)
+	r.seen++
+}
+
+// EndPeriod closes the active period and returns its traffic record.
+func (r *RSU) EndPeriod() (*record.Record, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return nil, ErrNoPeriod
+	}
+	rec := r.cur
+	r.cur = nil
+	r.lastSeen = r.seen
+	return rec, nil
+}
+
+// ErrNoHistory is returned by StartPeriodAuto before any period has
+// completed.
+var ErrNoHistory = errors.New("rsu: no completed period to derive an expected volume from")
+
+// StartPeriodAuto begins period p sized from the previous period's
+// observed report count — the "historical average at the same location"
+// of Eq. (2) for RSUs without an external history feed. Each vehicle
+// reports at most once per period (duplicates are suppressed vehicle-side
+// and lost reports are simply uncounted), so the report count is itself
+// the previous period's volume measurement.
+func (r *RSU) StartPeriodAuto(p record.PeriodID) error {
+	r.mu.Lock()
+	last := r.lastSeen
+	r.mu.Unlock()
+	if last == 0 {
+		return ErrNoHistory
+	}
+	return r.StartPeriod(p, float64(last))
+}
+
+// Stats is an observability snapshot.
+type Stats struct {
+	Active       bool
+	Period       record.PeriodID
+	BitmapSize   int
+	ReportsSeen  uint64
+	ReportsDrop  uint64
+	OnesFraction float64
+}
+
+// Stats returns current counters.
+func (r *RSU) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{ReportsSeen: r.seen, ReportsDrop: r.dropped}
+	if r.cur != nil {
+		s.Active = true
+		s.Period = r.cur.Period
+		s.BitmapSize = r.cur.Size()
+		s.OnesFraction = r.cur.Bitmap.FractionOne()
+	}
+	return s
+}

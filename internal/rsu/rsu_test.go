@@ -1,0 +1,292 @@
+package rsu
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"ptm/internal/core"
+	"ptm/internal/dsrc"
+	"ptm/internal/pki"
+	"ptm/internal/record"
+	"ptm/internal/vehicle"
+	"ptm/internal/vhash"
+)
+
+var t0 = time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC)
+
+func fixedClock() time.Time { return t0 }
+
+type world struct {
+	authority *pki.Authority
+	ch        *dsrc.Channel
+	rsu       *RSU
+}
+
+func newWorld(t *testing.T, loc vhash.LocationID, cfg dsrc.Config) *world {
+	t.Helper()
+	a, err := pki.NewAuthority(t0, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := a.IssueRSU(loc, t0, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := dsrc.NewChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(cred, ch, 2, fixedClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{authority: a, ch: ch, rsu: r}
+}
+
+func (w *world) fleet(t *testing.T, n int, seed uint64) []*vehicle.Vehicle {
+	t.Helper()
+	out := make([]*vehicle.Vehicle, n)
+	for i := range out {
+		id, err := vhash.NewSeededIdentity(vhash.VehicleID(i), 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := vehicle.New(id, w.authority.TrustAnchor(), int64(i), fixedClock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, 2, nil); !errors.Is(err, ErrNilDep) {
+		t.Errorf("err = %v, want ErrNilDep", err)
+	}
+	w := newWorld(t, 1, dsrc.Config{})
+	cred, err := w.authority.IssueRSU(2, t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cred, w.ch, 0, nil); err == nil {
+		t.Error("f=0 accepted")
+	}
+}
+
+func TestPeriodLifecycle(t *testing.T) {
+	w := newWorld(t, 5, dsrc.Config{})
+	if err := w.rsu.Beacon(); !errors.Is(err, ErrNoPeriod) {
+		t.Errorf("Beacon before period err = %v", err)
+	}
+	if _, err := w.rsu.EndPeriod(); !errors.Is(err, ErrNoPeriod) {
+		t.Errorf("EndPeriod before period err = %v", err)
+	}
+	if err := w.rsu.StartPeriod(1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.rsu.StartPeriod(2, 1000); !errors.Is(err, ErrPeriodActive) {
+		t.Errorf("double start err = %v", err)
+	}
+	st := w.rsu.Stats()
+	if !st.Active || st.Period != 1 || st.BitmapSize != 2048 {
+		t.Errorf("stats = %+v", st)
+	}
+	rec, err := w.rsu.EndPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Location != 5 || rec.Period != 1 || rec.Size() != 2048 {
+		t.Errorf("record = %v", rec)
+	}
+	if err := w.rsu.StartPeriod(2, 1000); err != nil {
+		t.Fatalf("restart after end: %v", err)
+	}
+}
+
+func TestStartPeriodBadVolume(t *testing.T) {
+	w := newWorld(t, 5, dsrc.Config{})
+	if err := w.rsu.StartPeriod(1, 0); err == nil {
+		t.Error("zero expected volume accepted")
+	}
+}
+
+// TestFullProtocolRoundTrip drives the complete paper pipeline over the
+// simulated radio: beacons -> verification -> reports -> bitmap -> record,
+// for several periods, then estimates the persistent traffic.
+func TestFullProtocolRoundTrip(t *testing.T) {
+	const (
+		loc        = vhash.LocationID(7)
+		nCommon    = 300
+		nTransient = 1200
+		periods    = 4
+	)
+	w := newWorld(t, loc, dsrc.Config{})
+	common := w.fleet(t, nCommon, 1)
+
+	var recs []*record.Record
+	transientID := vhash.VehicleID(1 << 20)
+	for p := record.PeriodID(1); p <= periods; p++ {
+		if err := w.rsu.StartPeriod(p, nCommon+nTransient); err != nil {
+			t.Fatal(err)
+		}
+		// Common fleet drives through.
+		var leaves []func()
+		for _, v := range common {
+			leave, err := v.PassThrough(w.ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves = append(leaves, leave)
+		}
+		// Fresh transient vehicles this period.
+		for i := 0; i < nTransient; i++ {
+			id, err := vhash.NewSeededIdentity(transientID, 3, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			transientID++
+			tv, err := vehicle.New(id, w.authority.TrustAnchor(), int64(transientID), fixedClock)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leave, err := tv.PassThrough(w.ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves = append(leaves, leave)
+		}
+		if err := w.rsu.Beacon(); err != nil {
+			t.Fatal(err)
+		}
+		for _, leave := range leaves {
+			leave()
+		}
+		st := w.rsu.Stats()
+		if st.ReportsSeen != nCommon+nTransient {
+			t.Fatalf("period %d: %d reports, want %d", p, st.ReportsSeen, nCommon+nTransient)
+		}
+		rec, err := w.rsu.EndPeriod()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+
+	set, err := record.NewSet(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.EstimatePoint(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(res.Estimate-nCommon) / nCommon; re > 0.25 {
+		t.Errorf("full-stack estimate %v vs %d: rel err %.3f", res.Estimate, nCommon, re)
+	}
+}
+
+// TestRepeatedBeaconsDoNotInflate: beaconing many times per period (as a
+// real RSU does every second) must not change the record — vehicles
+// suppress duplicates.
+func TestRepeatedBeaconsDoNotInflate(t *testing.T) {
+	w := newWorld(t, 3, dsrc.Config{})
+	fleet := w.fleet(t, 50, 5)
+	if err := w.rsu.StartPeriod(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fleet {
+		if _, err := v.PassThrough(w.ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.rsu.Beacon(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.rsu.Stats()
+	if st.ReportsSeen != 50 {
+		t.Errorf("reports = %d, want 50 (duplicates suppressed)", st.ReportsSeen)
+	}
+}
+
+// TestBeaconLossRecoveredByRebeaconing: with beacon loss, a single beacon
+// misses some vehicles, but repeated beacons (the per-second schedule)
+// eventually reach everyone — the paper's "ensuring that each passing
+// vehicle will be able to receive a beacon".
+func TestBeaconLossRecoveredByRebeaconing(t *testing.T) {
+	w := newWorld(t, 3, dsrc.Config{BeaconLoss: 0.5, Seed: 9})
+	fleet := w.fleet(t, 200, 11)
+	if err := w.rsu.StartPeriod(1, 400); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fleet {
+		if _, err := v.PassThrough(w.ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ { // 20 beacons at 50% loss: miss prob ~ 1e-6
+		if err := w.rsu.Beacon(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.rsu.Stats(); st.ReportsSeen != 200 {
+		t.Errorf("reports = %d, want all 200 after re-beaconing", st.ReportsSeen)
+	}
+}
+
+func TestStartPeriodAuto(t *testing.T) {
+	w := newWorld(t, 4, dsrc.Config{})
+	if err := w.rsu.StartPeriodAuto(1); !errors.Is(err, ErrNoHistory) {
+		t.Errorf("no-history err = %v", err)
+	}
+	// Run one period with 900 vehicles.
+	fleet := w.fleet(t, 900, 7)
+	if err := w.rsu.StartPeriod(1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fleet {
+		if _, err := v.PassThrough(w.ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.rsu.Beacon(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.rsu.EndPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	// Auto-sized next period: Eq. (2) from 900 observed reports with
+	// f=2 gives m = 2048.
+	if err := w.rsu.StartPeriodAuto(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.rsu.Stats(); st.BitmapSize != 2048 {
+		t.Errorf("auto-sized m = %d, want 2048", st.BitmapSize)
+	}
+}
+
+func TestStaleReportsDropped(t *testing.T) {
+	w := newWorld(t, 3, dsrc.Config{})
+	if err := w.rsu.StartPeriod(2, 100); err != nil {
+		t.Fatal(err)
+	}
+	// A report for period 1 arrives late.
+	if err := w.ch.Send(dsrc.Report{Period: 1, Index: 5}); err != nil {
+		t.Fatal(err)
+	}
+	st := w.rsu.Stats()
+	if st.ReportsSeen != 0 || st.ReportsDrop != 1 {
+		t.Errorf("stats = %+v, want 0 seen / 1 dropped", st)
+	}
+	rec, err := w.rsu.EndPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Bitmap.Ones() != 0 {
+		t.Error("stale report contaminated the bitmap")
+	}
+}

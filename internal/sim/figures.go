@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+
+	"ptm/internal/core"
+	"ptm/internal/stats"
+	"ptm/internal/synth"
+)
+
+// FracMin, FracMax and FracStep define the persistent-volume sweep of the
+// synthetic experiments (Section VI-B): n* from 0.01·n_min to 0.5·n_min in
+// steps of 0.01·n_min.
+const (
+	FracMin  = 0.01
+	FracMax  = 0.5
+	FracStep = 0.01
+)
+
+// sweepFracs expands the sweep grid.
+func sweepFracs() []float64 {
+	var out []float64
+	for f := FracMin; f <= FracMax+1e-9; f += FracStep {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Fig4Point is one x-position of Figure 4: the true persistent volume and
+// the mean relative errors of the proposed estimator and the benchmark
+// (plain linear counting on the AND of all t records).
+type Fig4Point struct {
+	NStar     int
+	Proposed  float64
+	Benchmark float64
+}
+
+// RunFig4 regenerates one panel of Figure 4 (t = 5 for the left plot,
+// t = 10 for the right). Per the paper, per-period volumes are drawn from
+// (2000, 10000] and the persistent volume sweeps 1%..50% of the smallest
+// period volume.
+func RunFig4(t int, opts Options) ([]Fig4Point, error) {
+	opts = opts.normalized()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	// One volume draw fixes the x-axis; trials vary vehicles only.
+	gv, err := synth.NewGenerator(opts.Seed, opts.S)
+	if err != nil {
+		return nil, err
+	}
+	volumes, err := gv.Volumes(t, synth.DefaultVolumeMin, synth.DefaultVolumeMax)
+	if err != nil {
+		return nil, err
+	}
+	nMin := volumes[0]
+	for _, v := range volumes {
+		if v < nMin {
+			nMin = v
+		}
+	}
+	fracs := sweepFracs()
+	points := make([]Fig4Point, len(fracs))
+	for fi, frac := range fracs {
+		nStar := int(frac * float64(nMin))
+		if nStar < 1 {
+			nStar = 1
+		}
+		prop := make([]float64, opts.Runs)
+		bench := make([]float64, opts.Runs)
+		cell := uint64(t)<<40 | uint64(fi)<<16
+		runErr := parallelFor(opts.Runs, opts.Workers, func(run int) error {
+			g, err := synth.NewGenerator(trialSeed(opts.Seed, cell, uint64(run)), opts.S)
+			if err != nil {
+				return err
+			}
+			w, err := g.Point(synth.PointConfig{
+				Loc:     1,
+				Volumes: volumes,
+				NCommon: nStar,
+				F:       opts.F,
+			})
+			if err != nil {
+				return fmt.Errorf("sim: fig4 t=%d frac=%.2f run %d: %w", t, frac, run, err)
+			}
+			res, err := core.EstimatePoint(w.Set)
+			if err != nil {
+				return err
+			}
+			base, err := core.EstimatePointBaseline(w.Set)
+			if err != nil {
+				return err
+			}
+			if prop[run], err = stats.RelativeError(res.Estimate, float64(nStar)); err != nil {
+				return err
+			}
+			if bench[run], err = stats.RelativeError(base, float64(nStar)); err != nil {
+				return err
+			}
+			return nil
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		points[fi] = Fig4Point{NStar: nStar, Proposed: meanRelErr(prop), Benchmark: meanRelErr(bench)}
+	}
+	return points, nil
+}
+
+// ScatterPoint is one measurement of Figures 5 and 6: actual persistent
+// volume on x, estimated volume on y.
+type ScatterPoint struct {
+	Actual    float64
+	Estimated float64
+}
+
+// RunFigScatterPoint regenerates a point-persistent scatter panel
+// (Fig. 5 left with f=2, Fig. 6 left with f=3): one estimate per sweep
+// position per run, t periods.
+func RunFigScatterPoint(t int, opts Options) ([]ScatterPoint, error) {
+	opts = opts.normalized()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	gv, err := synth.NewGenerator(opts.Seed+1, opts.S)
+	if err != nil {
+		return nil, err
+	}
+	volumes, err := gv.Volumes(t, synth.DefaultVolumeMin, synth.DefaultVolumeMax)
+	if err != nil {
+		return nil, err
+	}
+	nMin := volumes[0]
+	for _, v := range volumes {
+		if v < nMin {
+			nMin = v
+		}
+	}
+	fracs := sweepFracs()
+	points := make([]ScatterPoint, len(fracs)*opts.Runs)
+	runErr := parallelFor(len(points), opts.Workers, func(i int) error {
+		fi, run := i%len(fracs), i/len(fracs)
+		nStar := int(fracs[fi] * float64(nMin))
+		if nStar < 1 {
+			nStar = 1
+		}
+		g, err := synth.NewGenerator(trialSeed(opts.Seed, uint64(fi)<<20|0xf5, uint64(run)), opts.S)
+		if err != nil {
+			return err
+		}
+		w, err := g.Point(synth.PointConfig{Loc: 1, Volumes: volumes, NCommon: nStar, F: opts.F})
+		if err != nil {
+			return err
+		}
+		res, err := core.EstimatePoint(w.Set)
+		if err != nil {
+			return fmt.Errorf("sim: scatter point frac=%.2f: %w", fracs[fi], err)
+		}
+		points[i] = ScatterPoint{Actual: float64(nStar), Estimated: res.Estimate}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return points, nil
+}
+
+// RunFigScatterP2P regenerates a point-to-point scatter panel (Fig. 5
+// right with f=2, Fig. 6 right with f=3). Both locations draw per-period
+// volumes from (2000, 10000]; the common volume sweeps 1%..50% of the
+// smallest volume at either location.
+func RunFigScatterP2P(t int, opts Options) ([]ScatterPoint, error) {
+	opts = opts.normalized()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	gv, err := synth.NewGenerator(opts.Seed+2, opts.S)
+	if err != nil {
+		return nil, err
+	}
+	volA, err := gv.Volumes(t, synth.DefaultVolumeMin, synth.DefaultVolumeMax)
+	if err != nil {
+		return nil, err
+	}
+	volB, err := gv.Volumes(t, synth.DefaultVolumeMin, synth.DefaultVolumeMax)
+	if err != nil {
+		return nil, err
+	}
+	nMin := volA[0]
+	for _, v := range volA {
+		if v < nMin {
+			nMin = v
+		}
+	}
+	for _, v := range volB {
+		if v < nMin {
+			nMin = v
+		}
+	}
+	fracs := sweepFracs()
+	points := make([]ScatterPoint, len(fracs)*opts.Runs)
+	runErr := parallelFor(len(points), opts.Workers, func(i int) error {
+		fi, run := i%len(fracs), i/len(fracs)
+		nCommon := int(fracs[fi] * float64(nMin))
+		if nCommon < 1 {
+			nCommon = 1
+		}
+		g, err := synth.NewGenerator(trialSeed(opts.Seed, uint64(fi)<<20|0xf6, uint64(run)), opts.S)
+		if err != nil {
+			return err
+		}
+		w, err := g.Pair(synth.PairConfig{
+			LocA: 1, LocB: 2,
+			VolumesA: volA, VolumesB: volB,
+			NCommon: nCommon, F: opts.F,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := core.EstimatePointToPoint(w.SetA, w.SetB, opts.S)
+		if err != nil {
+			return fmt.Errorf("sim: scatter p2p frac=%.2f: %w", fracs[fi], err)
+		}
+		points[i] = ScatterPoint{Actual: float64(nCommon), Estimated: res.Estimate}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return points, nil
+}

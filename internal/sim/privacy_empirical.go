@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ptm/internal/bitmap"
+	"ptm/internal/privacy"
+	"ptm/internal/vhash"
+)
+
+// PrivacyEmpirical validates Section V empirically: instead of evaluating
+// Eq. (22)-(24), it simulates the tracker's experiment many times and
+// measures the frequencies directly.
+//
+// Setup per trial: a vehicle v is known (by external means) to have used
+// index i at location L. The tracker inspects bit i of location L”s
+// record B'. NoiseEmp is the measured frequency of B'[i] = 1 when v never
+// passed L' (other vehicles set it); HitEmp is the frequency when v did
+// pass L'.
+type PrivacyEmpirical struct {
+	NPrime             float64 // vehicles passing L'
+	MPrime             int     // record size at L'
+	S                  int
+	Trials             int
+	NoiseEmp, HitEmp   float64 // measured p and p'
+	NoiseThy, HitThy   float64 // Eq. (22) and Eq. (23)
+	RatioEmp, RatioThy float64 // measured and Eq. (24) noise-to-information
+}
+
+// RunPrivacyEmpirical measures the tracking probabilities over
+// opts.Runs trials at the given (n', m', s) operating point.
+func RunPrivacyEmpirical(nPrime int, mPrime int, opts Options) (*PrivacyEmpirical, error) {
+	opts = opts.normalized()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if nPrime < 0 {
+		return nil, fmt.Errorf("sim: negative n'")
+	}
+	const (
+		locL      = vhash.LocationID(1)
+		locLPrime = vhash.LocationID(2)
+	)
+	trials := opts.Runs
+	var noiseHits, hitHits int
+	// Split trials across workers; each worker owns a disjoint seed range.
+	type out struct{ noise, hit int }
+	results := make([]out, trials)
+	err := parallelFor(trials, opts.Workers, func(i int) error {
+		seed := trialSeed(opts.Seed, 0x9e37, uint64(i))
+		rng := rand.New(rand.NewSource(int64(seed)))
+		v, err := vhash.NewSeededIdentity(vhash.VehicleID(i), opts.S, seed)
+		if err != nil {
+			return err
+		}
+		// The index the tracker observed at L (reduced to m' for the
+		// comparison, as in Section V where both records have size m').
+		observed := v.Index(locL, mPrime)
+
+		bNoise, err := bitmap.New(mPrime)
+		if err != nil {
+			return err
+		}
+		for k := 0; k < nPrime; k++ {
+			bNoise.Set(rng.Uint64()) // other vehicles, uniform indices
+		}
+		if bNoise.Get(observed) {
+			results[i].noise = 1
+		}
+		// Same record, now v also passes L'.
+		bHit := bNoise.Clone()
+		bHit.Set(v.Index(locLPrime, mPrime))
+		if bHit.Get(observed) {
+			results[i].hit = 1
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		noiseHits += r.noise
+		hitHits += r.hit
+	}
+
+	pThy, err := privacy.Noise(float64(nPrime), mPrime)
+	if err != nil {
+		return nil, err
+	}
+	ppThy, err := privacy.Information(pThy, opts.S)
+	if err != nil {
+		return nil, err
+	}
+	res := &PrivacyEmpirical{
+		NPrime: float64(nPrime), MPrime: mPrime, S: opts.S, Trials: trials,
+		NoiseEmp: float64(noiseHits) / float64(trials),
+		HitEmp:   float64(hitHits) / float64(trials),
+		NoiseThy: pThy,
+		HitThy:   ppThy,
+	}
+	if info := res.HitEmp - res.NoiseEmp; info > 0 {
+		res.RatioEmp = res.NoiseEmp / info
+	}
+	rThy, err := privacy.Ratio(float64(nPrime), mPrime, opts.S)
+	if err != nil {
+		return nil, err
+	}
+	res.RatioThy = rThy
+	return res, nil
+}

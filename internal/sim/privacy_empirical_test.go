@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestPrivacyEmpiricalMatchesTheory: the simulated tracker frequencies
+// must land on Eq. (22)/(23) within Monte-Carlo tolerance.
+func TestPrivacyEmpiricalMatchesTheory(t *testing.T) {
+	const (
+		mPrime = 1 << 12
+		f      = 2 // n' = m'/f
+	)
+	res, err := RunPrivacyEmpirical(mPrime/f, mPrime, Options{Runs: 20000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p ~ 0.39; binomial sd at 20k trials ~ 0.0035. Use 4 sd.
+	if d := math.Abs(res.NoiseEmp - res.NoiseThy); d > 0.015 {
+		t.Errorf("empirical noise %.4f vs theory %.4f (Δ %.4f)", res.NoiseEmp, res.NoiseThy, d)
+	}
+	if d := math.Abs(res.HitEmp - res.HitThy); d > 0.015 {
+		t.Errorf("empirical hit %.4f vs theory %.4f (Δ %.4f)", res.HitEmp, res.HitThy, d)
+	}
+	if res.HitEmp <= res.NoiseEmp {
+		t.Error("hit probability must exceed noise probability")
+	}
+	// Ratio around 1.95; allow Monte-Carlo slack (it is a quotient of
+	// noisy quantities).
+	if res.RatioEmp < res.RatioThy*0.8 || res.RatioEmp > res.RatioThy*1.25 {
+		t.Errorf("empirical ratio %.3f vs theory %.3f", res.RatioEmp, res.RatioThy)
+	}
+}
+
+// TestPrivacyEmpiricalSWeakensTracking: larger s dilutes the tracking
+// signal — the empirical information (p' - p) shrinks roughly as 1/s.
+func TestPrivacyEmpiricalSWeakensTracking(t *testing.T) {
+	const mPrime = 1 << 12
+	info := func(s int) float64 {
+		res, err := RunPrivacyEmpirical(mPrime/2, mPrime, Options{Runs: 20000, Seed: 7, S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.HitEmp - res.NoiseEmp
+	}
+	i2, i5 := info(2), info(5)
+	if i5 >= i2 {
+		t.Errorf("info at s=5 (%.4f) should be below s=2 (%.4f)", i5, i2)
+	}
+	// Ratio of informations ~ (1/5)/(1/2) = 0.4; generous band.
+	if r := i5 / i2; r < 0.25 || r > 0.6 {
+		t.Errorf("info ratio s5/s2 = %.3f, want ~0.4", r)
+	}
+}
+
+func TestPrivacyEmpiricalValidation(t *testing.T) {
+	if _, err := RunPrivacyEmpirical(100, 64, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Runs=0 err = %v", err)
+	}
+	if _, err := RunPrivacyEmpirical(-1, 64, Options{Runs: 10}); err == nil {
+		t.Error("negative n' accepted")
+	}
+}
+
+// TestPrivacyEmpiricalZeroTraffic: with no other vehicles there is no
+// noise; tracking succeeds only when v itself reuses the observed index
+// (probability ~ 1/s).
+func TestPrivacyEmpiricalZeroTraffic(t *testing.T) {
+	res, err := RunPrivacyEmpirical(0, 1<<12, Options{Runs: 20000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoiseEmp != 0 {
+		t.Errorf("noise with zero traffic = %v", res.NoiseEmp)
+	}
+	if d := math.Abs(res.HitEmp - 1.0/3); d > 0.02 {
+		t.Errorf("hit probability %.4f, want ~1/3 (s=3)", res.HitEmp)
+	}
+}

@@ -1,0 +1,149 @@
+// Package sim drives the paper's evaluation (Section VI): it builds
+// workloads with internal/synth (and the calibrated Sioux Falls table from
+// internal/trips), runs the estimators of internal/core over many
+// independent trials in parallel, and aggregates the relative-error series
+// behind Table I and Figures 4–6.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ptm/internal/stats"
+	"ptm/internal/synth"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Runs is the number of independent trials averaged per cell. The
+	// paper uses 1000; tests use far fewer.
+	Runs int
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// S and F are the representative-bit count and load factor; zero
+	// values select the paper's defaults (s=3, f=2).
+	S int
+	F float64
+	// Workers bounds trial parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// ErrBadOptions is returned for non-positive run counts.
+var ErrBadOptions = errors.New("sim: Runs must be >= 1")
+
+func (o Options) normalized() Options {
+	if o.S == 0 {
+		o.S = synth.DefaultS
+	}
+	if o.F == 0 {
+		o.F = synth.DefaultF
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Runs < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadOptions, o.Runs)
+	}
+	return nil
+}
+
+// mix64 derives independent per-trial seeds from (seed, cell, run).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func trialSeed(seed, cell, run uint64) uint64 {
+	return mix64(seed ^ mix64(cell+0x1234) ^ mix64(run+0xabcd))
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines and returns the
+// first error encountered (all work is drained either way).
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// meanRelErr averages per-trial relative errors.
+func meanRelErr(errs []float64) float64 {
+	m, err := stats.Mean(errs)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// repeatVolumes returns a t-length constant volume vector, the Table I
+// per-period traffic model.
+func repeatVolumes(v float64, t int) []int {
+	out := make([]int, t)
+	for i := range out {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// trialPair runs one point-to-point trial and returns the relative error
+// of the proposed estimator.
+func trialPair(seed uint64, s int, f float64, volA, volB []int, nCommon int, sameSize bool) (float64, error) {
+	g, err := synth.NewGenerator(seed, s)
+	if err != nil {
+		return 0, err
+	}
+	w, err := g.Pair(synth.PairConfig{
+		LocA: 1, LocB: 2,
+		VolumesA: volA, VolumesB: volB,
+		NCommon:  nCommon,
+		F:        f,
+		SameSize: sameSize,
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := estimatePair(w, s)
+	if err != nil {
+		return 0, err
+	}
+	return stats.RelativeError(res, float64(nCommon))
+}

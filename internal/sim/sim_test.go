@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ptm/internal/trips"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).validate(); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Runs=0 err = %v", err)
+	}
+	if err := (Options{Runs: 1}).validate(); err != nil {
+		t.Errorf("Runs=1 err = %v", err)
+	}
+	n := Options{Runs: 5}.normalized()
+	if n.S != 3 || n.F != 2 || n.Workers < 1 {
+		t.Errorf("normalized = %+v", n)
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	err := parallelFor(n, 7, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := parallelFor(10, 3, func(i int) error {
+		if i == 4 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+func TestParallelForDegenerate(t *testing.T) {
+	if err := parallelFor(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0 err = %v", err)
+	}
+	ran := false
+	if err := parallelFor(1, 0, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("workers=0 should still run the job")
+	}
+}
+
+func TestTrialSeedIndependence(t *testing.T) {
+	seen := map[uint64]bool{}
+	for cell := uint64(0); cell < 10; cell++ {
+		for run := uint64(0); run < 10; run++ {
+			s := trialSeed(42, cell, run)
+			if seen[s] {
+				t.Fatalf("duplicate trial seed for cell=%d run=%d", cell, run)
+			}
+			seen[s] = true
+		}
+	}
+	if trialSeed(1, 2, 3) != trialSeed(1, 2, 3) {
+		t.Error("trialSeed not deterministic")
+	}
+}
+
+func TestRunFig4Shape(t *testing.T) {
+	pts, err := RunFig4(5, Options{Runs: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("points = %d, want 50", len(pts))
+	}
+	// x-axis strictly increasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NStar <= pts[i-1].NStar {
+			t.Errorf("NStar not increasing at %d: %d <= %d", i, pts[i].NStar, pts[i-1].NStar)
+		}
+	}
+	// Figure 4's core claim: the proposed estimator beats the benchmark,
+	// most dramatically at small persistent volume.
+	var propSum, benchSum float64
+	for _, p := range pts {
+		propSum += p.Proposed
+		benchSum += p.Benchmark
+	}
+	if propSum >= benchSum {
+		t.Errorf("proposed total error %.3f not below benchmark %.3f", propSum, benchSum)
+	}
+	small := pts[0]
+	if small.Benchmark < 2*small.Proposed {
+		t.Errorf("at smallest n* benchmark %.3f should dwarf proposed %.3f", small.Benchmark, small.Proposed)
+	}
+}
+
+func TestRunFig4MorePeriodsHelps(t *testing.T) {
+	p5, err := RunFig4(5, Options{Runs: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, err := RunFig4(10, Options{Runs: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e5, e10 float64
+	for i := range p5 {
+		e5 += p5[i].Benchmark
+	}
+	for i := range p10 {
+		e10 += p10[i].Benchmark
+	}
+	// More AND-joined periods filter more transient noise (the paper's
+	// explanation for the t=5 -> t=10 improvement).
+	if e10 >= e5 {
+		t.Errorf("benchmark error should fall from t=5 (%.3f) to t=10 (%.3f)", e5, e10)
+	}
+}
+
+func TestRunFig4Errors(t *testing.T) {
+	if _, err := RunFig4(5, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Runs=0 err = %v", err)
+	}
+}
+
+func TestRunFigScatterPoint(t *testing.T) {
+	pts, err := RunFigScatterPoint(5, Options{Runs: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	var sumRel, cnt float64
+	for _, p := range pts {
+		if p.Actual >= 200 {
+			sumRel += abs(p.Estimated-p.Actual) / p.Actual
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		t.Fatal("no points with actual >= 200")
+	}
+	if mean := sumRel / cnt; mean > 0.15 {
+		t.Errorf("mean rel deviation %.3f too far from y=x", mean)
+	}
+}
+
+func TestRunFigScatterP2P(t *testing.T) {
+	pts, err := RunFigScatterP2P(5, Options{Runs: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	var sumRel, cnt float64
+	for _, p := range pts {
+		if p.Actual >= 200 {
+			sumRel += abs(p.Estimated-p.Actual) / p.Actual
+			cnt++
+		}
+	}
+	if mean := sumRel / cnt; mean > 0.2 {
+		t.Errorf("mean rel deviation %.3f too far from y=x", mean)
+	}
+}
+
+// TestScatterF3TighterThanF2 reproduces the Fig. 5 vs Fig. 6 comparison:
+// a larger load factor yields visibly better accuracy.
+func TestScatterF3TighterThanF2(t *testing.T) {
+	dev := func(f float64) float64 {
+		pts, err := RunFigScatterPoint(5, Options{Runs: 2, Seed: 19, F: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, cnt float64
+		for _, p := range pts {
+			if p.Actual >= 100 {
+				sum += abs(p.Estimated-p.Actual) / p.Actual
+				cnt++
+			}
+		}
+		return sum / cnt
+	}
+	if d2, d3 := dev(2), dev(3); d3 >= d2 {
+		t.Errorf("f=3 deviation %.4f should beat f=2 %.4f", d3, d2)
+	}
+}
+
+func TestRunTable1SmallLocations(t *testing.T) {
+	tab := trips.NewSiouxFalls()
+	res, err := RunTable1(tab, []trips.Zone{7, 8}, []int{3, 5}, Options{Runs: 3, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 {
+		t.Fatalf("columns = %d", len(res.Columns))
+	}
+	if res.MPrime != 1<<20 {
+		t.Errorf("MPrime = %d", res.MPrime)
+	}
+	for _, col := range res.Columns {
+		if col.MRatio != res.MPrime/col.M {
+			t.Errorf("ratio mismatch at L=%d", col.L)
+		}
+		for _, tt := range []int{3, 5} {
+			re, ok := col.RelErrByT[tt]
+			if !ok {
+				t.Fatalf("missing t=%d at L=%d", tt, col.L)
+			}
+			// Table I reports errors of 2-10% here; leave slack for the
+			// tiny trial count.
+			if re > 0.3 {
+				t.Errorf("L=%d t=%d rel err %.3f implausibly large", col.L, tt, re)
+			}
+		}
+		// Same-size baseline must be clearly worse at large m'/m
+		// (Table I last column: 1.37 vs 0.06).
+		if col.L == 8 && col.SameSizeRelErr < 3*col.RelErrByT[5] {
+			t.Errorf("same-size rel err %.3f should dwarf proposed %.3f at L=8",
+				col.SameSizeRelErr, col.RelErrByT[5])
+		}
+	}
+}
+
+func TestRunTable1Errors(t *testing.T) {
+	tab := trips.NewSiouxFalls()
+	if _, err := RunTable1(tab, nil, nil, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Runs=0 err = %v", err)
+	}
+	if _, err := RunTable1(tab, []trips.Zone{99}, []int{3}, Options{Runs: 1}); !errors.Is(err, trips.ErrBadZone) {
+		t.Errorf("bad zone err = %v", err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+
+	"ptm/internal/core"
+	"ptm/internal/lpc"
+	"ptm/internal/synth"
+	"ptm/internal/trips"
+)
+
+// estimatePair runs the proposed point-to-point estimator over a pair
+// workload and returns the estimate.
+func estimatePair(w *synth.PairWorkload, s int) (float64, error) {
+	res, err := core.EstimatePointToPoint(w.SetA, w.SetB, s)
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
+// Table1Column is one column of Table I: a location L paired with L', the
+// workload constants, and the measured mean relative errors.
+type Table1Column struct {
+	L       trips.Zone
+	N       float64 // per-period volume at L
+	M       int     // Eq. (2) record size at L
+	MRatio  int     // m'/m
+	NCommon float64 // true point-to-point persistent volume n''
+	// RelErrByT maps t (number of periods) to the mean relative error of
+	// the proposed estimator.
+	RelErrByT map[int]float64
+	// SameSizeRelErr is the t=5 mean relative error of the same-size
+	// bitmap baseline (Table I's last row).
+	SameSizeRelErr float64
+}
+
+// Table1Result aggregates the full table.
+type Table1Result struct {
+	NPrime  float64 // per-period volume at L'
+	MPrime  int     // Eq. (2) record size at L'
+	Ts      []int   // the t values measured (paper: 3, 5, 7, 10)
+	Columns []Table1Column
+}
+
+// Table1Ts are the period counts of Table I.
+var Table1Ts = []int{3, 5, 7, 10}
+
+// SameSizeT is the t at which the same-size baseline row is measured.
+const SameSizeT = 5
+
+// RunTable1 regenerates Table I on the calibrated Sioux Falls table for
+// the given locations (nil means all eight paper locations) and period
+// counts (nil means Table1Ts).
+func RunTable1(tab *trips.Table, locs []trips.Zone, ts []int, opts Options) (*Table1Result, error) {
+	opts = opts.normalized()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if locs == nil {
+		locs = trips.TableILocations
+	}
+	if ts == nil {
+		ts = Table1Ts
+	}
+	nPrime, err := tab.Volume(trips.LPrime)
+	if err != nil {
+		return nil, err
+	}
+	mPrime, err := lpc.BitmapSize(nPrime, opts.F)
+	if err != nil {
+		return nil, err
+	}
+	result := &Table1Result{NPrime: nPrime, MPrime: mPrime, Ts: ts}
+
+	for li, loc := range locs {
+		n, err := tab.Volume(loc)
+		if err != nil {
+			return nil, err
+		}
+		nc, err := tab.PairVolume(loc, trips.LPrime)
+		if err != nil {
+			return nil, err
+		}
+		m, err := lpc.BitmapSize(n, opts.F)
+		if err != nil {
+			return nil, err
+		}
+		col := Table1Column{
+			L: loc, N: n, M: m, MRatio: mPrime / m, NCommon: nc,
+			RelErrByT: make(map[int]float64, len(ts)),
+		}
+		for ti, t := range ts {
+			cell := uint64(li)<<32 | uint64(ti)<<8
+			errs := make([]float64, opts.Runs)
+			volA := repeatVolumes(n, t)
+			volB := repeatVolumes(nPrime, t)
+			runErr := parallelFor(opts.Runs, opts.Workers, func(run int) error {
+				re, err := trialPair(trialSeed(opts.Seed, cell, uint64(run)), opts.S, opts.F, volA, volB, int(nc), false)
+				if err != nil {
+					return fmt.Errorf("sim: table1 L=%d t=%d run %d: %w", loc, t, run, err)
+				}
+				errs[run] = re
+				return nil
+			})
+			if runErr != nil {
+				return nil, runErr
+			}
+			col.RelErrByT[t] = meanRelErr(errs)
+		}
+		// Same-size baseline at t = SameSizeT.
+		{
+			cell := uint64(li)<<32 | 0xff00
+			errs := make([]float64, opts.Runs)
+			volA := repeatVolumes(n, SameSizeT)
+			volB := repeatVolumes(nPrime, SameSizeT)
+			runErr := parallelFor(opts.Runs, opts.Workers, func(run int) error {
+				re, err := trialPair(trialSeed(opts.Seed, cell, uint64(run)), opts.S, opts.F, volA, volB, int(nc), true)
+				if err != nil {
+					return fmt.Errorf("sim: table1 same-size L=%d run %d: %w", loc, run, err)
+				}
+				errs[run] = re
+				return nil
+			})
+			if runErr != nil {
+				return nil, runErr
+			}
+			col.SameSizeRelErr = meanRelErr(errs)
+		}
+		result.Columns = append(result.Columns, col)
+	}
+	return result, nil
+}

@@ -1,0 +1,119 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to aggregate simulation trials into the paper's tables and
+// figures: means, deviations, relative errors, and summaries.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// RelativeError returns |est - actual| / actual, the paper's accuracy
+// metric (Section II-C). actual must be non-zero.
+func RelativeError(est, actual float64) (float64, error) {
+	if actual == 0 {
+		return 0, errors.New("stats: relative error undefined for actual = 0")
+	}
+	return math.Abs(est-actual) / math.Abs(actual), nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 samples", ErrEmpty)
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation
+// between closest ranks.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Summary aggregates a sample.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Median, Max float64
+	P05, P95         float64
+}
+
+// Summarize computes a Summary. It requires a non-empty sample; StdDev is
+// zero for singletons.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	sd := 0.0
+	if len(xs) >= 2 {
+		sd, _ = StdDev(xs)
+	}
+	min, _ := Quantile(xs, 0)
+	med, _ := Quantile(xs, 0.5)
+	max, _ := Quantile(xs, 1)
+	p05, _ := Quantile(xs, 0.05)
+	p95, _ := Quantile(xs, 0.95)
+	return Summary{
+		N: len(xs), Mean: m, StdDev: sd,
+		Min: min, Median: med, Max: max, P05: p05, P95: p95,
+	}, nil
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativeError(t *testing.T) {
+	got, err := RelativeError(110, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v, want 0.1", got)
+	}
+	got, err = RelativeError(90, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("underestimate RelativeError = %v, want 0.1", got)
+	}
+	got, err = RelativeError(-50, -100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("negative actual RelativeError = %v", got)
+	}
+	if _, err := RelativeError(1, 0); err == nil {
+		t.Error("actual=0 accepted")
+	}
+}
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Errorf("Mean = %v, %v", got, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of squared deviations = 32; unbiased variance = 32/7.
+	if math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("singleton variance err = %v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3, 2},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q>1 accepted")
+	}
+	one, err := Quantile([]float64{7}, 0.9)
+	if err != nil || one != 7 {
+		t.Errorf("singleton quantile = %v, %v", one, err)
+	}
+	// Quantile must not reorder the caller's slice.
+	orig := []float64{3, 1, 2}
+	if _, err := Quantile(orig, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if sort.Float64sAreSorted(orig) {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	one, err := Summarize([]float64{4})
+	if err != nil || one.StdDev != 0 || one.Mean != 4 {
+		t.Errorf("singleton summary = %+v, %v", one, err)
+	}
+}
+
+// Property: mean is within [min, max]; quantiles are monotone in q.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Keep magnitudes where the intermediate sum cannot
+			// overflow; extreme float64s are not meaningful samples.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e300 {
+				xs = append(xs, x/float64(len(raw)+1))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		q1, _ := Quantile(xs, 0.25)
+		q3, _ := Quantile(xs, 0.75)
+		return q1 <= q3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

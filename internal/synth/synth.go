@@ -1,0 +1,281 @@
+// Package synth generates the simulation workloads of Section VI: aligned
+// record sets containing a configurable persistent (common-vehicle)
+// population plus per-period transient traffic.
+//
+// Common vehicles are modeled with full vhash identities, because their
+// cross-period and cross-location correlations are exactly what the
+// persistent estimators measure. Transient vehicles appear in a single
+// record only, and a fresh identity's index is uniform over the bitmap, so
+// the generator sets a uniformly random bit instead of materializing an
+// identity — statistically identical and orders of magnitude faster at the
+// paper's traffic volumes (hundreds of thousands of vehicles per period).
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ptm/internal/lpc"
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Paper defaults (Section VI).
+const (
+	DefaultS         = 3
+	DefaultF         = 2.0
+	DefaultVolumeMin = 2000  // exclusive, per Section VI-B "(2000, 10000]"
+	DefaultVolumeMax = 10000 // inclusive
+)
+
+// Validation errors.
+var (
+	ErrBadVolumeRange = errors.New("synth: invalid volume range")
+	ErrBadPeriods     = errors.New("synth: need at least one period")
+	ErrCommonTooLarge = errors.New("synth: common vehicles exceed period volume")
+)
+
+// Generator produces workloads deterministically from a seed.
+type Generator struct {
+	rng    *rand.Rand
+	seed   uint64
+	s      int
+	nextID uint64
+}
+
+// NewGenerator creates a generator with the given seed and representative-
+// bit count s.
+func NewGenerator(seed uint64, s int) (*Generator, error) {
+	if s < vhash.MinS || s > vhash.MaxS {
+		return nil, fmt.Errorf("synth: %w", vhash.ErrInvalidS)
+	}
+	return &Generator{
+		rng:  rand.New(rand.NewSource(int64(seed))),
+		seed: seed,
+		s:    s,
+	}, nil
+}
+
+// Identities draws n fresh common-vehicle identities.
+func (g *Generator) Identities(n int) ([]*vhash.Identity, error) {
+	out := make([]*vhash.Identity, n)
+	for i := range out {
+		v, err := vhash.NewSeededIdentity(vhash.VehicleID(g.nextID), g.s, g.seed)
+		if err != nil {
+			return nil, err
+		}
+		g.nextID++
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Volumes draws t per-period volumes uniformly from (min, max], the
+// Section VI-B distribution.
+func (g *Generator) Volumes(t, min, max int) ([]int, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("%w: t=%d", ErrBadPeriods, t)
+	}
+	if min < 0 || max <= min {
+		return nil, fmt.Errorf("%w: (%d, %d]", ErrBadVolumeRange, min, max)
+	}
+	out := make([]int, t)
+	for i := range out {
+		out[i] = min + 1 + g.rng.Intn(max-min)
+	}
+	return out, nil
+}
+
+// PointConfig describes a single-location workload.
+type PointConfig struct {
+	Loc     vhash.LocationID
+	Volumes []int   // per-period total volumes (common + transient)
+	NCommon int     // vehicles passing in every period
+	F       float64 // load factor for Eq. (2) sizing
+	// ExpectedVolume is the "historical average" of Eq. (2) used to size
+	// every period's record; zero means the mean of Volumes. Per the
+	// paper, an RSU's record size is constant across periods with a
+	// stationary expectation.
+	ExpectedVolume float64
+	// FixedM forces every record to FixedM bits, bypassing Eq. (2);
+	// zero means size normally.
+	FixedM int
+	// PerPeriodSizing sizes each record from its own period's volume
+	// instead of the historical average. This deviates from Eq. (2) and
+	// measurably biases the point persistent estimator (see the
+	// BenchmarkAblationPerPeriodSizing ablation); it exists to
+	// demonstrate that sensitivity.
+	PerPeriodSizing bool
+}
+
+// PointWorkload is the generated single-location data: the record set and
+// its ground truth.
+type PointWorkload struct {
+	Set     *record.Set
+	NCommon int
+	Common  []*vhash.Identity
+}
+
+// Point generates a single-location workload: NCommon persistent vehicles
+// encoded in every period plus (volume - NCommon) transient encodings per
+// period. Each record is sized by Eq. (2) from its period's volume (the
+// "historical expectation" of the synthetic world) unless FixedM is set.
+func (g *Generator) Point(cfg PointConfig) (*PointWorkload, error) {
+	if len(cfg.Volumes) == 0 {
+		return nil, ErrBadPeriods
+	}
+	f := cfg.F
+	if f == 0 {
+		f = DefaultF
+	}
+	common, err := g.Identities(cfg.NCommon)
+	if err != nil {
+		return nil, err
+	}
+	expected := cfg.ExpectedVolume
+	if expected == 0 {
+		expected = meanVolume(cfg.Volumes)
+	}
+	recs := make([]*record.Record, len(cfg.Volumes))
+	for j, vol := range cfg.Volumes {
+		if cfg.NCommon > vol {
+			return nil, fmt.Errorf("%w: %d > %d in period %d", ErrCommonTooLarge, cfg.NCommon, vol, j+1)
+		}
+		m := cfg.FixedM
+		if m == 0 {
+			basis := expected
+			if cfg.PerPeriodSizing {
+				basis = float64(vol)
+			}
+			m, err = lpc.BitmapSize(basis, f)
+			if err != nil {
+				return nil, fmt.Errorf("synth: sizing period %d: %w", j+1, err)
+			}
+		}
+		r, err := record.New(cfg.Loc, record.PeriodID(j+1), m)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range common {
+			r.Bitmap.Set(v.Index(cfg.Loc, m))
+		}
+		for i := 0; i < vol-cfg.NCommon; i++ {
+			r.Bitmap.Set(g.rng.Uint64())
+		}
+		recs[j] = r
+	}
+	set, err := record.NewSet(recs)
+	if err != nil {
+		return nil, err
+	}
+	return &PointWorkload{Set: set, NCommon: cfg.NCommon, Common: common}, nil
+}
+
+// PairConfig describes a two-location workload for point-to-point
+// persistent measurement.
+type PairConfig struct {
+	LocA, LocB vhash.LocationID
+	// VolumesA and VolumesB are per-period total volumes at each
+	// location; they must have equal length t.
+	VolumesA, VolumesB []int
+	// NCommon vehicles pass BOTH locations in every period.
+	NCommon int
+	F       float64
+	// ExpectedA and ExpectedB are the Eq. (2) historical averages used
+	// to size each location's records (constant across periods); zero
+	// means the mean of the respective volume vector.
+	ExpectedA, ExpectedB float64
+	// SameSize forces location B's records to location A's sizes — the
+	// "same-size bitmaps" baseline of Table I's last row.
+	SameSize bool
+}
+
+// PairWorkload is the generated two-location data.
+type PairWorkload struct {
+	SetA, SetB *record.Set
+	NCommon    int
+}
+
+// Pair generates aligned record sets at two locations sharing NCommon
+// persistent vehicles. Transient volumes are independent per location per
+// period.
+func (g *Generator) Pair(cfg PairConfig) (*PairWorkload, error) {
+	if len(cfg.VolumesA) == 0 || len(cfg.VolumesA) != len(cfg.VolumesB) {
+		return nil, fmt.Errorf("%w: %d vs %d periods", ErrBadPeriods, len(cfg.VolumesA), len(cfg.VolumesB))
+	}
+	f := cfg.F
+	if f == 0 {
+		f = DefaultF
+	}
+	common, err := g.Identities(cfg.NCommon)
+	if err != nil {
+		return nil, err
+	}
+	expectedA := cfg.ExpectedA
+	if expectedA == 0 {
+		expectedA = meanVolume(cfg.VolumesA)
+	}
+	expectedB := cfg.ExpectedB
+	if expectedB == 0 {
+		expectedB = meanVolume(cfg.VolumesB)
+	}
+	mA, err := lpc.BitmapSize(expectedA, f)
+	if err != nil {
+		return nil, fmt.Errorf("synth: sizing A: %w", err)
+	}
+	mB := mA
+	if !cfg.SameSize {
+		mB, err = lpc.BitmapSize(expectedB, f)
+		if err != nil {
+			return nil, fmt.Errorf("synth: sizing B: %w", err)
+		}
+	}
+	t := len(cfg.VolumesA)
+	recsA := make([]*record.Record, t)
+	recsB := make([]*record.Record, t)
+	for j := 0; j < t; j++ {
+		volA, volB := cfg.VolumesA[j], cfg.VolumesB[j]
+		if cfg.NCommon > volA || cfg.NCommon > volB {
+			return nil, fmt.Errorf("%w: %d > min(%d, %d) in period %d", ErrCommonTooLarge, cfg.NCommon, volA, volB, j+1)
+		}
+		ra, err := record.New(cfg.LocA, record.PeriodID(j+1), mA)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := record.New(cfg.LocB, record.PeriodID(j+1), mB)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range common {
+			ra.Bitmap.Set(v.Index(cfg.LocA, mA))
+			rb.Bitmap.Set(v.Index(cfg.LocB, mB))
+		}
+		for i := 0; i < volA-cfg.NCommon; i++ {
+			ra.Bitmap.Set(g.rng.Uint64())
+		}
+		for i := 0; i < volB-cfg.NCommon; i++ {
+			rb.Bitmap.Set(g.rng.Uint64())
+		}
+		recsA[j], recsB[j] = ra, rb
+	}
+	setA, err := record.NewSet(recsA)
+	if err != nil {
+		return nil, err
+	}
+	setB, err := record.NewSet(recsB)
+	if err != nil {
+		return nil, err
+	}
+	return &PairWorkload{SetA: setA, SetB: setB, NCommon: cfg.NCommon}, nil
+}
+
+// meanVolume returns the arithmetic mean of the per-period volumes, the
+// stand-in for Eq. (2)'s historical expectation in synthetic worlds.
+func meanVolume(vols []int) float64 {
+	sum := 0
+	for _, v := range vols {
+		sum += v
+	}
+	return float64(sum) / float64(len(vols))
+}

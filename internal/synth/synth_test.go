@@ -1,0 +1,331 @@
+package synth
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ptm/internal/core"
+	"ptm/internal/vhash"
+)
+
+func TestNewGeneratorValidatesS(t *testing.T) {
+	if _, err := NewGenerator(1, 0); !errors.Is(err, vhash.ErrInvalidS) {
+		t.Errorf("s=0 err = %v", err)
+	}
+	if _, err := NewGenerator(1, 3); err != nil {
+		t.Errorf("s=3: %v", err)
+	}
+}
+
+func TestVolumes(t *testing.T) {
+	g, err := NewGenerator(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols, err := g.Volumes(100, DefaultVolumeMin, DefaultVolumeMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vols) != 100 {
+		t.Fatalf("len = %d", len(vols))
+	}
+	for _, v := range vols {
+		if v <= DefaultVolumeMin || v > DefaultVolumeMax {
+			t.Errorf("volume %d outside (%d, %d]", v, DefaultVolumeMin, DefaultVolumeMax)
+		}
+	}
+	if _, err := g.Volumes(0, 1, 2); !errors.Is(err, ErrBadPeriods) {
+		t.Errorf("t=0 err = %v", err)
+	}
+	if _, err := g.Volumes(5, 10, 10); !errors.Is(err, ErrBadVolumeRange) {
+		t.Errorf("empty range err = %v", err)
+	}
+	if _, err := g.Volumes(5, -1, 10); !errors.Is(err, ErrBadVolumeRange) {
+		t.Errorf("negative min err = %v", err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() []int {
+		g, err := NewGenerator(99, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vols, err := g.Volumes(10, 2000, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vols
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different volumes")
+		}
+	}
+}
+
+func TestIdentitiesUnique(t *testing.T) {
+	g, err := NewGenerator(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := g.Identities(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[vhash.VehicleID]bool{}
+	for _, v := range ids {
+		if seen[v.ID()] {
+			t.Fatalf("duplicate vehicle id %d", v.ID())
+		}
+		seen[v.ID()] = true
+	}
+	more, err := g.Identities(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range more {
+		if seen[v.ID()] {
+			t.Fatalf("id %d reused across batches", v.ID())
+		}
+	}
+}
+
+func TestPointWorkloadStructure(t *testing.T) {
+	g, err := NewGenerator(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Point(PointConfig{
+		Loc:     3,
+		Volumes: []int{3000, 9000, 5000},
+		NCommon: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Set.Len() != 3 {
+		t.Fatalf("set len = %d", w.Set.Len())
+	}
+	if w.Set.Location() != 3 {
+		t.Errorf("location = %d", w.Set.Location())
+	}
+	// Eq. (2) sizes every record from the historical average (mean
+	// volume 5666.7 here), constant across periods: 2*5666.7 -> 16384.
+	for i, b := range w.Set.Bitmaps() {
+		if b.Size() != 16384 {
+			t.Errorf("period %d size = %d, want 16384", i+1, b.Size())
+		}
+	}
+	// Every common vehicle's bit is set in every record.
+	for j, b := range w.Set.Bitmaps() {
+		for _, v := range w.Common {
+			if !b.Get(v.Index(3, b.Size())) {
+				t.Fatalf("common vehicle missing in period %d", j+1)
+			}
+		}
+	}
+}
+
+func TestPointWorkloadEstimates(t *testing.T) {
+	g, err := NewGenerator(11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Point(PointConfig{
+		Loc:     1,
+		Volumes: []int{6000, 7000, 5000, 8000, 6500},
+		NCommon: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.EstimatePoint(w.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(res.Estimate-1200) / 1200; re > 0.12 {
+		t.Errorf("estimate %v vs 1200: rel err %.3f", res.Estimate, re)
+	}
+}
+
+func TestPointFixedM(t *testing.T) {
+	g, err := NewGenerator(13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Point(PointConfig{
+		Loc:     1,
+		Volumes: []int{3000, 9000},
+		NCommon: 100,
+		FixedM:  4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.Set.Bitmaps() {
+		if b.Size() != 4096 {
+			t.Errorf("size = %d, want FixedM 4096", b.Size())
+		}
+	}
+}
+
+func TestPointSizingModes(t *testing.T) {
+	g, err := NewGenerator(31, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit expectation overrides the mean.
+	w, err := g.Point(PointConfig{Loc: 1, Volumes: []int{3000, 9000}, ExpectedVolume: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.Set.Bitmaps() {
+		if b.Size() != 8192 {
+			t.Errorf("size = %d, want 8192 from ExpectedVolume", b.Size())
+		}
+	}
+	// PerPeriodSizing (the documented deviation from Eq. 2) varies sizes.
+	w, err = g.Point(PointConfig{Loc: 1, Volumes: []int{3000, 9000}, PerPeriodSizing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{w.Set.Bitmaps()[0].Size(), w.Set.Bitmaps()[1].Size()}
+	if sizes[0] != 8192 || sizes[1] != 32768 {
+		t.Errorf("per-period sizes = %v, want [8192 32768]", sizes)
+	}
+}
+
+func TestPairExplicitExpectations(t *testing.T) {
+	g, err := NewGenerator(37, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Pair(PairConfig{
+		LocA: 1, LocB: 2,
+		VolumesA: []int{3000, 3500}, VolumesB: []int{9000, 9500},
+		NCommon: 100, ExpectedA: 3000, ExpectedB: 16000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SetA.Bitmaps()[0].Size(); got != 8192 {
+		t.Errorf("A size = %d, want 8192", got)
+	}
+	if got := w.SetB.Bitmaps()[0].Size(); got != 32768 {
+		t.Errorf("B size = %d, want 32768", got)
+	}
+}
+
+func TestPointErrors(t *testing.T) {
+	g, err := NewGenerator(17, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Point(PointConfig{Loc: 1}); !errors.Is(err, ErrBadPeriods) {
+		t.Errorf("no volumes err = %v", err)
+	}
+	if _, err := g.Point(PointConfig{Loc: 1, Volumes: []int{100}, NCommon: 200}); !errors.Is(err, ErrCommonTooLarge) {
+		t.Errorf("oversized common err = %v", err)
+	}
+}
+
+func TestPairWorkload(t *testing.T) {
+	g, err := NewGenerator(19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Pair(PairConfig{
+		LocA: 1, LocB: 2,
+		VolumesA: []int{4000, 5000, 4500, 5500, 4200},
+		VolumesB: []int{8000, 9000, 8500, 9500, 8200},
+		NCommon:  900,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SetA.Len() != 5 || w.SetB.Len() != 5 {
+		t.Fatal("wrong period counts")
+	}
+	res, err := core.EstimatePointToPoint(w.SetA, w.SetB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(res.Estimate-900) / 900; re > 0.15 {
+		t.Errorf("p2p estimate %v vs 900: rel err %.3f", res.Estimate, re)
+	}
+}
+
+// TestPairSameSizeDegrades reproduces the rationale for Table I's last
+// row: forcing m' = m (sized from the smaller location) degrades accuracy
+// when the other location carries much more traffic.
+func TestPairSameSizeDegrades(t *testing.T) {
+	const nCommon = 400
+	runCfg := func(same bool, seed uint64) float64 {
+		g, err := NewGenerator(seed, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := g.Pair(PairConfig{
+			LocA: 1, LocB: 2,
+			VolumesA: []int{3000, 3000, 3000, 3000, 3000},
+			VolumesB: []int{48000, 48000, 48000, 48000, 48000},
+			NCommon:  nCommon,
+			SameSize: same,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.EstimatePointToPoint(w.SetA, w.SetB, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.Estimate-nCommon) / nCommon
+	}
+	var properly, sameSize float64
+	const runs = 5
+	for seed := uint64(0); seed < runs; seed++ {
+		properly += runCfg(false, 100+seed) / runs
+		sameSize += runCfg(true, 200+seed) / runs
+	}
+	if sameSize <= properly*2 {
+		t.Errorf("same-size error %.3f should far exceed proper sizing %.3f", sameSize, properly)
+	}
+}
+
+func TestPairSameSizeForcesSizes(t *testing.T) {
+	g, err := NewGenerator(23, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Pair(PairConfig{
+		LocA: 1, LocB: 2,
+		VolumesA: []int{3000, 3000},
+		VolumesB: []int{48000, 48000},
+		NCommon:  100,
+		SameSize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range w.SetB.Bitmaps() {
+		if b.Size() != w.SetA.Bitmaps()[i].Size() {
+			t.Errorf("period %d: sizes differ under SameSize", i+1)
+		}
+	}
+}
+
+func TestPairErrors(t *testing.T) {
+	g, err := NewGenerator(29, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Pair(PairConfig{VolumesA: []int{100}, VolumesB: []int{100, 100}}); !errors.Is(err, ErrBadPeriods) {
+		t.Errorf("mismatched periods err = %v", err)
+	}
+	if _, err := g.Pair(PairConfig{VolumesA: []int{100}, VolumesB: []int{100}, NCommon: 150}); !errors.Is(err, ErrCommonTooLarge) {
+		t.Errorf("oversized common err = %v", err)
+	}
+}

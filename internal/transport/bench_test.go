@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ptm/internal/central"
+	"ptm/internal/record"
+)
+
+func benchStack(b *testing.B) (*central.Server, *Client) {
+	b.Helper()
+	store, err := central.NewServer(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	b.Cleanup(func() { _ = srv.Close() })
+	client, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = client.Close() })
+	return store, client
+}
+
+// BenchmarkUploadThroughput measures end-to-end record uploads over TCP
+// loopback (Table I-scale records: 2^16 bits = 8 KiB payloads).
+func BenchmarkUploadThroughput(b *testing.B) {
+	_, client := benchStack(b)
+	rec, err := record.New(1, 1, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := rec.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Period = record.PeriodID(i + 1) // duplicates are rejected
+		if err := client.Upload(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryThroughput measures persistent-traffic queries over TCP
+// loopback against a populated store.
+func BenchmarkQueryThroughput(b *testing.B) {
+	store, client := benchStack(b)
+	for p := record.PeriodID(1); p <= 5; p++ {
+		rec, err := record.New(7, p, 1<<14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := uint64(0); i < 5000; i++ {
+			rec.Bitmap.Set(i*0x9e3779b97f4a7c15 + uint64(p))
+		}
+		if err := store.Ingest(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	periods := []record.PeriodID{1, 2, 3, 4, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.QueryPointPersistent(7, periods); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

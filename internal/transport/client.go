@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"bufio"
+	"crypto/tls"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Client is an RSU- or operator-side connection to the central server.
+// It is safe for concurrent use; requests are serialized on the wire.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// RemoteError is an application-level failure reported by the server
+// (duplicate upload, unknown location, saturated record, ...).
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "transport: server: " + e.Msg }
+
+// Dial connects to a central server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// DialTLS connects to a central server over TLS. cfg typically comes from
+// the authority's ClientTLSConfig (internal/pki).
+func DialTLS(addr string, cfg *tls.Config, timeout time.Duration) (*Client, error) {
+	d := &net.Dialer{Timeout: timeout}
+	conn, err := tls.DialWithDialer(d, "tcp", addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s with TLS: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (net.Pipe in tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one frame and reads the response, expecting wantType.
+func (c *Client) roundTrip(t MsgType, payload []byte, wantType MsgType) (result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, t, payload); err != nil {
+		return result{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return result{}, fmt.Errorf("transport: flushing request: %w", err)
+	}
+	rt, resp, err := ReadFrame(c.br)
+	if err != nil {
+		return result{}, fmt.Errorf("transport: reading response: %w", err)
+	}
+	if rt != wantType {
+		return result{}, fmt.Errorf("%w: response type %v, want %v", ErrBadFrame, rt, wantType)
+	}
+	res, err := decodeResult(resp)
+	if err != nil {
+		return result{}, err
+	}
+	if !res.ok {
+		return result{}, &RemoteError{Msg: res.errMsg}
+	}
+	return res, nil
+}
+
+// Upload sends one traffic record and waits for the acknowledgment.
+func (c *Client) Upload(rec *record.Record) error {
+	blob, err := rec.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(MsgUpload, blob, MsgUploadAck)
+	return err
+}
+
+// QueryVolume returns the Eq. (1) volume estimate for one period.
+func (c *Client) QueryVolume(loc vhash.LocationID, p record.PeriodID) (float64, error) {
+	res, err := c.roundTrip(MsgQueryVolume, VolumeQuery{Loc: loc, Period: p}.encode(), MsgResult)
+	if err != nil {
+		return 0, err
+	}
+	return res.estimate, nil
+}
+
+// QueryPointPersistent returns the Eq. (12) point persistent estimate.
+func (c *Client) QueryPointPersistent(loc vhash.LocationID, periods []record.PeriodID) (float64, error) {
+	payload, err := PointQuery{Loc: loc, Periods: periods}.encode()
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.roundTrip(MsgQueryPoint, payload, MsgResult)
+	if err != nil {
+		return 0, err
+	}
+	return res.estimate, nil
+}
+
+// QueryPointToPointPersistent returns the Eq. (21) estimate between two
+// locations.
+func (c *Client) QueryPointToPointPersistent(locA, locB vhash.LocationID, periods []record.PeriodID) (float64, error) {
+	payload, err := P2PQuery{LocA: locA, LocB: locB, Periods: periods}.encode()
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.roundTrip(MsgQueryP2P, payload, MsgResult)
+	if err != nil {
+		return 0, err
+	}
+	return res.estimate, nil
+}
+
+// listRoundTrip sends a listing request and returns the raw response
+// payload after checking the response type.
+func (c *Client) listRoundTrip(t MsgType, payload []byte, wantType MsgType) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, t, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("transport: flushing request: %w", err)
+	}
+	rt, resp, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading response: %w", err)
+	}
+	if rt != wantType {
+		return nil, fmt.Errorf("%w: response type %v, want %v", ErrBadFrame, rt, wantType)
+	}
+	return resp, nil
+}
+
+// ListLocations returns all locations with stored records.
+func (c *Client) ListLocations() ([]vhash.LocationID, error) {
+	resp, err := c.listRoundTrip(MsgListLocations, nil, MsgLocations)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLocationList(resp)
+}
+
+// ListPeriods returns the stored periods at one location.
+func (c *Client) ListPeriods(loc vhash.LocationID) ([]record.PeriodID, error) {
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, uint64(loc))
+	resp, err := c.listRoundTrip(MsgListPeriods, payload, MsgPeriods)
+	if err != nil {
+		return nil, err
+	}
+	return decodePeriodList(resp)
+}
+
+// IsRemote reports whether err is an application-level server error, as
+// opposed to a transport failure worth retrying on a new connection.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}

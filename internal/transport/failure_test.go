@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ptm/internal/central"
+	"ptm/internal/record"
+)
+
+// flakyConn wraps a net.Conn and fails writes after a budget, modeling a
+// backhaul that dies mid-stream.
+type flakyConn struct {
+	net.Conn
+	mu          sync.Mutex
+	writeBudget int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (c *flakyConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.writeBudget <= 0 {
+		return 0, errInjected
+	}
+	if len(p) > c.writeBudget {
+		n, _ := c.Conn.Write(p[:c.writeBudget])
+		c.writeBudget = 0
+		return n, errInjected
+	}
+	c.writeBudget -= len(p)
+	return c.Conn.Write(p)
+}
+
+// TestClientSurfacesMidStreamFailure: a connection dying mid-upload must
+// produce a transport error (not a RemoteError), so callers know to
+// reconnect and retry.
+func TestClientSurfacesMidStreamFailure(t *testing.T) {
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverSide, clientSide := net.Pipe()
+	go srv.ServeConn(serverSide)
+
+	client := NewClient(&flakyConn{Conn: clientSide, writeBudget: 10})
+	defer client.Close()
+
+	rec, err := record.New(1, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = client.Upload(rec)
+	if err == nil {
+		t.Fatal("mid-stream failure not surfaced")
+	}
+	if IsRemote(err) {
+		t.Errorf("mid-stream failure misclassified as remote: %v", err)
+	}
+}
+
+// TestServerSurvivesAbruptDisconnects: clients vanishing mid-request must
+// not take the server down; subsequent clients work.
+func TestServerSurvivesAbruptDisconnects(t *testing.T) {
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// Several clients send partial frames and slam the connection shut.
+	for i := 0; i < 5; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = conn.Write([]byte{0xff, 0x00, 0x00}) // partial header
+		_ = conn.Close()
+	}
+	// A half-open connection that sends a valid frame then dies before
+	// reading the response.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, MsgListLocations, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+
+	// The server still answers a well-behaved client.
+	client, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rec, err := record.New(2, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Upload(rec); err != nil {
+		t.Fatalf("healthy client failed after chaos: %v", err)
+	}
+	locs, err := client.ListLocations()
+	if err != nil || len(locs) != 1 {
+		t.Fatalf("ListLocations after chaos: %v, %v", locs, err)
+	}
+}
+
+// TestClientReconnectAfterServerRestart: records buffered at the RSU can
+// be delivered to a restarted (state-restored) server.
+func TestClientReconnectAfterServerRestart(t *testing.T) {
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1, err := record.New(1, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Upload(rec1); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	_ = srv.Close()
+
+	// Restart on the same address with the same store (as centrald's
+	// snapshot restore would provide).
+	srv2, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv2.Serve(ln2) }()
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	client2, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	rec2, err := record.New(1, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client2.Upload(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Periods(1); len(got) != 2 {
+		t.Errorf("periods after restart = %v", got)
+	}
+}

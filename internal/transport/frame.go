@@ -1,0 +1,116 @@
+// Package transport implements the backhaul between RSUs and the central
+// server (Section II-A: "All RSUs are connected wirelessly or by wire to a
+// central server"): a length-prefixed binary protocol over TCP for record
+// upload and persistent-traffic queries, plus an in-memory pipe transport
+// for tests.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType discriminates protocol frames.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgUpload carries one marshaled traffic record (RSU -> server).
+	MsgUpload MsgType = iota + 1
+	// MsgUploadAck acknowledges an upload (server -> RSU).
+	MsgUploadAck
+	// MsgQueryVolume requests a per-period volume estimate.
+	MsgQueryVolume
+	// MsgQueryPoint requests a point persistent estimate.
+	MsgQueryPoint
+	// MsgQueryP2P requests a point-to-point persistent estimate.
+	MsgQueryP2P
+	// MsgResult carries a query result (server -> client).
+	MsgResult
+	// MsgListLocations requests the stored location IDs.
+	MsgListLocations
+	// MsgLocations carries the location list (server -> client).
+	MsgLocations
+	// MsgListPeriods requests the stored periods for one location.
+	MsgListPeriods
+	// MsgPeriods carries the period list (server -> client).
+	MsgPeriods
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgUpload:
+		return "UPLOAD"
+	case MsgUploadAck:
+		return "UPLOAD_ACK"
+	case MsgQueryVolume:
+		return "QUERY_VOLUME"
+	case MsgQueryPoint:
+		return "QUERY_POINT"
+	case MsgQueryP2P:
+		return "QUERY_P2P"
+	case MsgResult:
+		return "RESULT"
+	case MsgListLocations:
+		return "LIST_LOCATIONS"
+	case MsgLocations:
+		return "LOCATIONS"
+	case MsgListPeriods:
+		return "LIST_PERIODS"
+	case MsgPeriods:
+		return "PERIODS"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// MaxFrameSize bounds a frame's payload: large enough for a maximal
+// record (2^30 bits = 128 MiB plus headers), small enough to reject
+// nonsense lengths from corrupted streams.
+const MaxFrameSize = 1<<27 + 1024
+
+// Frame codec errors.
+var (
+	ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrameSize")
+	ErrBadFrame      = errors.New("transport: malformed frame")
+)
+
+// WriteFrame writes one frame: 4-byte little-endian payload length, the
+// type byte, then the payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("transport: writing frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("transport: writing frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err // io.EOF propagates for clean shutdown
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: claimed %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: reading frame payload: %w", err)
+	}
+	return MsgType(hdr[4]), payload, nil
+}

@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// VolumeQuery asks for the Eq. (1) volume estimate of one record.
+type VolumeQuery struct {
+	Loc    vhash.LocationID
+	Period record.PeriodID
+}
+
+func (q VolumeQuery) encode() []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(q.Loc))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(q.Period))
+	return buf
+}
+
+func decodeVolumeQuery(b []byte) (VolumeQuery, error) {
+	if len(b) != 12 {
+		return VolumeQuery{}, fmt.Errorf("%w: volume query length %d", ErrBadFrame, len(b))
+	}
+	return VolumeQuery{
+		Loc:    vhash.LocationID(binary.LittleEndian.Uint64(b[0:8])),
+		Period: record.PeriodID(binary.LittleEndian.Uint32(b[8:12])),
+	}, nil
+}
+
+// PointQuery asks for the Eq. (12) point persistent estimate.
+type PointQuery struct {
+	Loc     vhash.LocationID
+	Periods []record.PeriodID
+}
+
+func encodePeriods(buf []byte, ps []record.PeriodID) []byte {
+	var lenBuf [2]byte
+	binary.LittleEndian.PutUint16(lenBuf[:], uint16(len(ps)))
+	buf = append(buf, lenBuf[:]...)
+	for _, p := range ps {
+		var pb [4]byte
+		binary.LittleEndian.PutUint32(pb[:], uint32(p))
+		buf = append(buf, pb[:]...)
+	}
+	return buf
+}
+
+func decodePeriods(b []byte) ([]record.PeriodID, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("%w: truncated period list", ErrBadFrame)
+	}
+	n := int(binary.LittleEndian.Uint16(b[0:2]))
+	b = b[2:]
+	if len(b) < 4*n {
+		return nil, nil, fmt.Errorf("%w: period list claims %d entries", ErrBadFrame, n)
+	}
+	out := make([]record.PeriodID, n)
+	for i := range out {
+		out[i] = record.PeriodID(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, b[4*n:], nil
+}
+
+// MaxQueryPeriods bounds the period list in a single query.
+const MaxQueryPeriods = 1 << 12
+
+func (q PointQuery) encode() ([]byte, error) {
+	if len(q.Periods) > MaxQueryPeriods {
+		return nil, fmt.Errorf("%w: %d periods", ErrBadFrame, len(q.Periods))
+	}
+	buf := make([]byte, 8, 8+2+4*len(q.Periods))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(q.Loc))
+	return encodePeriods(buf, q.Periods), nil
+}
+
+func decodePointQuery(b []byte) (PointQuery, error) {
+	if len(b) < 8 {
+		return PointQuery{}, fmt.Errorf("%w: point query length %d", ErrBadFrame, len(b))
+	}
+	loc := vhash.LocationID(binary.LittleEndian.Uint64(b[0:8]))
+	ps, rest, err := decodePeriods(b[8:])
+	if err != nil {
+		return PointQuery{}, err
+	}
+	if len(rest) != 0 {
+		return PointQuery{}, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return PointQuery{Loc: loc, Periods: ps}, nil
+}
+
+// P2PQuery asks for the Eq. (21) point-to-point persistent estimate.
+type P2PQuery struct {
+	LocA, LocB vhash.LocationID
+	Periods    []record.PeriodID
+}
+
+func (q P2PQuery) encode() ([]byte, error) {
+	if len(q.Periods) > MaxQueryPeriods {
+		return nil, fmt.Errorf("%w: %d periods", ErrBadFrame, len(q.Periods))
+	}
+	buf := make([]byte, 16, 16+2+4*len(q.Periods))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(q.LocA))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(q.LocB))
+	return encodePeriods(buf, q.Periods), nil
+}
+
+func decodeP2PQuery(b []byte) (P2PQuery, error) {
+	if len(b) < 16 {
+		return P2PQuery{}, fmt.Errorf("%w: p2p query length %d", ErrBadFrame, len(b))
+	}
+	locA := vhash.LocationID(binary.LittleEndian.Uint64(b[0:8]))
+	locB := vhash.LocationID(binary.LittleEndian.Uint64(b[8:16]))
+	ps, rest, err := decodePeriods(b[16:])
+	if err != nil {
+		return P2PQuery{}, err
+	}
+	if len(rest) != 0 {
+		return P2PQuery{}, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return P2PQuery{LocA: locA, LocB: locB, Periods: ps}, nil
+}
+
+// Listing payloads: a status byte (1 = ok), then on success a uint32
+// count followed by fixed-width entries; on failure an error string.
+
+func encodeLocationList(locs []vhash.LocationID) []byte {
+	buf := make([]byte, 5+8*len(locs))
+	buf[0] = 1
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(locs)))
+	for i, l := range locs {
+		binary.LittleEndian.PutUint64(buf[5+8*i:], uint64(l))
+	}
+	return buf
+}
+
+func decodeLocationList(b []byte) ([]vhash.LocationID, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: empty list payload", ErrBadFrame)
+	}
+	if b[0] != 1 {
+		return nil, &RemoteError{Msg: string(b[1:])}
+	}
+	if len(b) < 5 {
+		return nil, fmt.Errorf("%w: short location list", ErrBadFrame)
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:5]))
+	if len(b) != 5+8*n {
+		return nil, fmt.Errorf("%w: location list claims %d entries", ErrBadFrame, n)
+	}
+	out := make([]vhash.LocationID, n)
+	for i := range out {
+		out[i] = vhash.LocationID(binary.LittleEndian.Uint64(b[5+8*i:]))
+	}
+	return out, nil
+}
+
+func encodePeriodList(ps []record.PeriodID) []byte {
+	buf := make([]byte, 5+4*len(ps))
+	buf[0] = 1
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(ps)))
+	for i, p := range ps {
+		binary.LittleEndian.PutUint32(buf[5+4*i:], uint32(p))
+	}
+	return buf
+}
+
+func decodePeriodList(b []byte) ([]record.PeriodID, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: empty list payload", ErrBadFrame)
+	}
+	if b[0] != 1 {
+		return nil, &RemoteError{Msg: string(b[1:])}
+	}
+	if len(b) < 5 {
+		return nil, fmt.Errorf("%w: short period list", ErrBadFrame)
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:5]))
+	if len(b) != 5+4*n {
+		return nil, fmt.Errorf("%w: period list claims %d entries", ErrBadFrame, n)
+	}
+	out := make([]record.PeriodID, n)
+	for i := range out {
+		out[i] = record.PeriodID(binary.LittleEndian.Uint32(b[5+4*i:]))
+	}
+	return out, nil
+}
+
+// result is the server's answer to any query or upload: a status byte, an
+// estimate (queries only), and an error string for application failures.
+type result struct {
+	ok       bool
+	estimate float64
+	errMsg   string
+}
+
+func (r result) encode() []byte {
+	buf := make([]byte, 9+len(r.errMsg))
+	if r.ok {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[1:9], math.Float64bits(r.estimate))
+	copy(buf[9:], r.errMsg)
+	return buf
+}
+
+func decodeResult(b []byte) (result, error) {
+	if len(b) < 9 {
+		return result{}, fmt.Errorf("%w: result length %d", ErrBadFrame, len(b))
+	}
+	return result{
+		ok:       b[0] == 1,
+		estimate: math.Float64frombits(binary.LittleEndian.Uint64(b[1:9])),
+		errMsg:   string(b[9:]),
+	}, nil
+}

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"crypto/tls"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ptm/internal/central"
+	"ptm/internal/pki"
+	"ptm/internal/record"
+)
+
+// TestTLSEndToEnd runs the full upload/query protocol over TLS 1.3 with
+// certificates chained to the transportation authority.
+func TestTLSEndToEnd(t *testing.T) {
+	now := time.Now()
+	authority, err := pki.NewAuthority(now, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := authority.IssueTLSServer("127.0.0.1", now, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := tls.NewListener(tcpLn, pki.ServerTLSConfig(serverCert))
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	client, err := DialTLS(ln.Addr().String(), authority.ClientTLSConfig(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rec, err := record.New(6, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Bitmap.Set(77)
+	if err := client.Upload(rec); err != nil {
+		t.Fatalf("upload over TLS: %v", err)
+	}
+	if _, err := client.QueryVolume(6, 2); err != nil {
+		t.Fatalf("query over TLS: %v", err)
+	}
+}
+
+// TestTLSRejectsUntrustedServer: clients refuse servers whose certificates
+// do not chain to their authority.
+func TestTLSRejectsUntrustedServer(t *testing.T) {
+	now := time.Now()
+	realAuthority, err := pki.NewAuthority(now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueAuthority, err := pki.NewAuthority(now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueCert, err := rogueAuthority.IssueTLSServer("127.0.0.1", now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := tls.NewListener(tcpLn, pki.ServerTLSConfig(rogueCert))
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	_, err = DialTLS(ln.Addr().String(), realAuthority.ClientTLSConfig(), time.Second)
+	if err == nil {
+		t.Fatal("client accepted a rogue server certificate")
+	}
+	var unknownAuthority interface{ Error() string }
+	if !errors.As(err, &unknownAuthority) {
+		t.Errorf("unexpected error shape: %v", err)
+	}
+}
+
+// TestTLSRejectsWrongHost: a certificate for another host fails SNI/SAN
+// verification.
+func TestTLSRejectsWrongHost(t *testing.T) {
+	now := time.Now()
+	authority, err := pki.NewAuthority(now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := authority.IssueTLSServer("central.example.com", now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := tls.NewListener(tcpLn, pki.ServerTLSConfig(cert))
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	if _, err := DialTLS(ln.Addr().String(), authority.ClientTLSConfig(), time.Second); err == nil {
+		t.Fatal("client accepted a certificate for the wrong host")
+	}
+}

@@ -1,0 +1,112 @@
+package trips
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSV interchange so deployments can bring their own origin–destination
+// data. The format is one header line "from,to,volume" followed by one
+// row per non-zero directional entry; zones are positive integers.
+
+// ErrBadCSV is returned for malformed CSV input.
+var ErrBadCSV = errors.New("trips: malformed CSV")
+
+// SaveCSV writes the table's non-zero entries.
+func (t *Table) SaveCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"from", "to", "volume"}); err != nil {
+		return fmt.Errorf("trips: writing header: %w", err)
+	}
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if t.od[i][j] == 0 {
+				continue
+			}
+			row := []string{
+				strconv.Itoa(i + 1),
+				strconv.Itoa(j + 1),
+				strconv.FormatFloat(t.od[i][j], 'f', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trips: writing row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV parses a table saved by SaveCSV (or produced by any tool using
+// the same format). The zone count is inferred from the largest zone
+// mentioned; duplicate (from, to) pairs accumulate.
+func LoadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadCSV, err)
+	}
+	if header[0] != "from" || header[1] != "to" || header[2] != "volume" {
+		return nil, fmt.Errorf("%w: header %v", ErrBadCSV, header)
+	}
+	type entry struct {
+		from, to int
+		vol      float64
+	}
+	var (
+		entries []entry
+		maxZone int
+	)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadCSV, line, err)
+		}
+		from, err := strconv.Atoi(row[0])
+		if err != nil || from < 1 {
+			return nil, fmt.Errorf("%w: line %d: bad from %q", ErrBadCSV, line, row[0])
+		}
+		to, err := strconv.Atoi(row[1])
+		if err != nil || to < 1 {
+			return nil, fmt.Errorf("%w: line %d: bad to %q", ErrBadCSV, line, row[1])
+		}
+		vol, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || vol < 0 {
+			return nil, fmt.Errorf("%w: line %d: bad volume %q", ErrBadCSV, line, row[2])
+		}
+		entries = append(entries, entry{from: from, to: to, vol: vol})
+		if from > maxZone {
+			maxZone = from
+		}
+		if to > maxZone {
+			maxZone = to
+		}
+	}
+	if maxZone < 2 {
+		return nil, fmt.Errorf("%w: table needs at least two zones", ErrBadCSV)
+	}
+	t, err := NewEmpty(maxZone)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic accumulation order (not strictly needed, but keeps
+	// float sums reproducible regardless of producer ordering).
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].from != entries[j].from {
+			return entries[i].from < entries[j].from
+		}
+		return entries[i].to < entries[j].to
+	})
+	for _, e := range entries {
+		t.od[e.from-1][e.to-1] += e.vol
+	}
+	return t, nil
+}

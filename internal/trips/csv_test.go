@@ -1,0 +1,109 @@
+package trips
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripSiouxFalls(t *testing.T) {
+	orig := NewSiouxFalls()
+	var buf bytes.Buffer
+	if err := orig.SaveCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Zones() != NumZones {
+		t.Fatalf("zones = %d", got.Zones())
+	}
+	for i := Zone(1); i <= NumZones; i++ {
+		for j := Zone(1); j <= NumZones; j++ {
+			a, err := orig.OD(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := got.OD(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("OD(%d,%d): %v != %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadCSVHandWritten(t *testing.T) {
+	in := "from,to,volume\n1,2,100\n2,1,50\n1,3,25.5\n1,2,10\n"
+	tab, err := LoadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Zones() != 3 {
+		t.Errorf("zones = %d", tab.Zones())
+	}
+	v, err := tab.OD(1, 2)
+	if err != nil || v != 110 { // duplicates accumulate
+		t.Errorf("OD(1,2) = %v, %v", v, err)
+	}
+	pv, err := tab.PairVolume(1, 2)
+	if err != nil || pv != 160 {
+		t.Errorf("PairVolume = %v, %v", pv, err)
+	}
+	vol, err := tab.Volume(1)
+	if err != nil || vol != 185.5 {
+		t.Errorf("Volume(1) = %v, %v", vol, err)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "a,b,c\n1,2,3\n",
+		"bad from":     "from,to,volume\nx,2,3\n",
+		"zero from":    "from,to,volume\n0,2,3\n",
+		"bad to":       "from,to,volume\n1,y,3\n",
+		"bad volume":   "from,to,volume\n1,2,z\n",
+		"negative vol": "from,to,volume\n1,2,-5\n",
+		"wrong arity":  "from,to,volume\n1,2\n",
+		"single zone":  "from,to,volume\n1,1,5\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadCSV(strings.NewReader(in)); !errors.Is(err, ErrBadCSV) {
+			t.Errorf("%s: err = %v, want ErrBadCSV", name, err)
+		}
+	}
+}
+
+func TestNewEmptyAndSetOD(t *testing.T) {
+	tab, err := NewEmpty(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetOD(1, 5, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tab.OD(1, 5)
+	if err != nil || v != 42 {
+		t.Errorf("OD = %v, %v", v, err)
+	}
+	if err := tab.SetOD(0, 1, 1); !errors.Is(err, ErrBadZone) {
+		t.Errorf("bad zone err = %v", err)
+	}
+	if err := tab.SetOD(1, 6, 1); !errors.Is(err, ErrBadZone) {
+		t.Errorf("out-of-range err = %v", err)
+	}
+	if err := tab.SetOD(1, 2, -1); err == nil {
+		t.Error("negative volume accepted")
+	}
+	if _, err := NewEmpty(1); !errors.Is(err, ErrBadZone) {
+		t.Errorf("n=1 err = %v", err)
+	}
+	if _, err := NewEmpty(1 << 20); !errors.Is(err, ErrBadZone) {
+		t.Errorf("huge n err = %v", err)
+	}
+}

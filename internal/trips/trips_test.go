@@ -1,0 +1,193 @@
+package trips
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ptm/internal/lpc"
+)
+
+func TestCalibratedAggregatesMatchTableI(t *testing.T) {
+	tab := NewSiouxFalls()
+
+	nPrime, err := tab.Volume(LPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nPrime-451000) > 1 {
+		t.Errorf("Volume(L') = %v, want 451000", nPrime)
+	}
+
+	wantN := []float64{213000, 140000, 121000, 78000, 76000, 47000, 40000, 28000}
+	wantNC := []float64{40000, 20000, 19000, 8000, 8000, 7000, 6000, 3000}
+	for i, z := range TableILocations {
+		n, err := tab.Volume(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(n-wantN[i]) > 1 {
+			t.Errorf("Volume(%d) = %v, want %v", z, n, wantN[i])
+		}
+		nc, err := tab.PairVolume(z, LPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(nc-wantNC[i]) > 1 {
+			t.Errorf("PairVolume(%d, L') = %v, want %v", z, nc, wantNC[i])
+		}
+	}
+}
+
+// TestBitmapSizesMatchTableI: Eq. (2) with f=2 applied to the calibrated
+// volumes must reproduce Table I's m row and the m'/m ratios 2..16.
+func TestBitmapSizesMatchTableI(t *testing.T) {
+	tab := NewSiouxFalls()
+	wantM := []int{524288, 524288, 262144, 262144, 262144, 131072, 131072, 65536}
+	wantRatio := []int{2, 2, 4, 4, 4, 8, 8, 16}
+
+	nPrime, err := tab.Volume(LPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPrime, err := lpc.BitmapSize(nPrime, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPrime != 1<<20 {
+		t.Fatalf("m' = %d, want 2^20", mPrime)
+	}
+	for i, z := range TableILocations {
+		n, err := tab.Volume(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := lpc.BitmapSize(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != wantM[i] {
+			t.Errorf("m(L=%d) = %d, want %d", z, m, wantM[i])
+		}
+		if mPrime/m != wantRatio[i] {
+			t.Errorf("m'/m at L=%d = %d, want %d", z, mPrime/m, wantRatio[i])
+		}
+	}
+}
+
+func TestMaxVolumeZoneIsLPrime(t *testing.T) {
+	tab := NewSiouxFalls()
+	z, v := tab.MaxVolumeZone()
+	if z != LPrime {
+		t.Errorf("MaxVolumeZone = %d, want %d", z, LPrime)
+	}
+	if math.Abs(v-451000) > 1 {
+		t.Errorf("max volume = %v", v)
+	}
+}
+
+func TestODSymmetryOfPairs(t *testing.T) {
+	tab := NewSiouxFalls()
+	// The calibrated pairs split volume evenly by direction.
+	for _, z := range TableILocations {
+		ab, err := tab.OD(z, LPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := tab.OD(LPrime, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ab != ba {
+			t.Errorf("OD(%d,L')=%v != OD(L',%d)=%v", z, ab, z, ba)
+		}
+	}
+}
+
+func TestZoneValidation(t *testing.T) {
+	tab := NewSiouxFalls()
+	for _, fn := range []func() error{
+		func() error { _, err := tab.OD(0, 1); return err },
+		func() error { _, err := tab.OD(1, 25); return err },
+		func() error { _, err := tab.PairVolume(-1, 2); return err },
+		func() error { _, err := tab.Volume(99); return err },
+	} {
+		if err := fn(); !errors.Is(err, ErrBadZone) {
+			t.Errorf("err = %v, want ErrBadZone", err)
+		}
+	}
+}
+
+func TestDiagonalIsZero(t *testing.T) {
+	tab := NewSiouxFalls()
+	for z := Zone(1); z <= NumZones; z++ {
+		v, err := tab.OD(z, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Errorf("OD(%d,%d) = %v, want 0", z, z, v)
+		}
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a, b := NewSiouxFalls(), NewSiouxFalls()
+	for i := Zone(1); i <= NumZones; i++ {
+		for j := Zone(1); j <= NumZones; j++ {
+			va, _ := a.OD(i, j)
+			vb, _ := b.OD(i, j)
+			if va != vb {
+				t.Fatalf("construction not deterministic at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	tab := NewSiouxFalls()
+	rows, err := tab.TableIRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for i, r := range rows {
+		if r.L != TableILocations[i] {
+			t.Errorf("row %d location = %d", i, r.L)
+		}
+		if r.NPrime != rows[0].NPrime {
+			t.Errorf("rows disagree on n'")
+		}
+		if r.NCommon > r.N || r.NCommon > r.NPrime {
+			t.Errorf("row %d: n''=%v exceeds n=%v or n'=%v", i, r.NCommon, r.N, r.NPrime)
+		}
+	}
+	// Decreasing volume order, as in the paper's table.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].N > rows[i-1].N {
+			t.Errorf("volumes not in decreasing order at %d", i)
+		}
+	}
+}
+
+func TestTotalTripsPositiveAndStable(t *testing.T) {
+	tab := NewSiouxFalls()
+	total := tab.TotalTrips()
+	if total <= 451000 {
+		t.Errorf("total trips %v implausibly small", total)
+	}
+	// Volumes double-count each trip (origin + destination zone).
+	var sumVol float64
+	for z := Zone(1); z <= NumZones; z++ {
+		v, err := tab.Volume(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumVol += v
+	}
+	if math.Abs(sumVol-2*total) > 1e-6*total {
+		t.Errorf("sum of volumes %v != 2 * total %v", sumVol, total)
+	}
+}

@@ -1,0 +1,134 @@
+// Package vehicle implements the on-board unit's side of the measurement
+// protocol (Sections II-B and II-D): receive a beacon, verify that the RSU
+// belongs to the trusted authority, compute the single index value
+// h_v = H(v ⊕ Kv ⊕ C[H(L ⊕ v) mod s]) mod m, and transmit it under a
+// fresh one-time MAC address. The vehicle never transmits its identity or
+// any other fixed value.
+package vehicle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ptm/internal/dsrc"
+	"ptm/internal/pki"
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Clock abstracts time for deterministic tests.
+type Clock func() time.Time
+
+// Vehicle is one on-board unit.
+type Vehicle struct {
+	identity *vhash.Identity
+	verifier *pki.Verifier
+	clock    Clock
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	reported map[visitKey]bool
+
+	rejected uint64
+}
+
+type visitKey struct {
+	loc    vhash.LocationID
+	period record.PeriodID
+}
+
+// ErrNilDependency is returned when constructor arguments are missing.
+var ErrNilDependency = errors.New("vehicle: nil identity or verifier")
+
+// New creates a vehicle from its private identity and the pre-installed
+// trust anchor. seed drives the one-time MAC generator; clock may be nil
+// for time.Now.
+func New(identity *vhash.Identity, verifier *pki.Verifier, seed int64, clock Clock) (*Vehicle, error) {
+	if identity == nil || verifier == nil {
+		return nil, ErrNilDependency
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Vehicle{
+		identity: identity,
+		verifier: verifier,
+		clock:    clock,
+		rng:      rand.New(rand.NewSource(seed)),
+		reported: make(map[visitKey]bool),
+	}, nil
+}
+
+// ID returns the vehicle's identifier (never transmitted; used by
+// simulations for ground truth).
+func (v *Vehicle) ID() vhash.VehicleID { return v.identity.ID() }
+
+// HandleBeacon processes one received beacon and, if the RSU verifies and
+// this (location, period) has not been answered yet, returns the report to
+// transmit. It returns (nil, nil) for duplicate beacons of a period the
+// vehicle already reported — RSUs beacon every second, but a passing
+// vehicle encodes itself once per period.
+func (v *Vehicle) HandleBeacon(b dsrc.Beacon) (*dsrc.Report, error) {
+	key := visitKey{loc: b.Location, period: b.Period}
+	// Skip the (expensive) certificate verification for periods already
+	// answered. Safe: the key is only marked after a verified beacon, so
+	// a forged beacon cannot suppress a future report.
+	v.mu.Lock()
+	done := v.reported[key]
+	v.mu.Unlock()
+	if done {
+		return nil, nil
+	}
+	if _, err := v.verifier.VerifyBeacon(b.CertDER, b.Location, b.M, uint32(b.Period), b.Sig, v.clock()); err != nil {
+		v.mu.Lock()
+		v.rejected++
+		v.mu.Unlock()
+		// Per Section II-B the vehicle keeps silent on failed
+		// verification; the error is surfaced for observability only.
+		return nil, fmt.Errorf("vehicle: beacon rejected: %w", err)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.reported[key] {
+		return nil, nil
+	}
+	v.reported[key] = true
+	return &dsrc.Report{
+		SrcMAC: dsrc.NewAnonymousMAC(v.rng),
+		Period: b.Period,
+		Index:  v.identity.Index(b.Location, b.M),
+	}, nil
+}
+
+// PassThrough subscribes the vehicle to an RSU's channel, so that the next
+// verified beacon triggers its report, and returns the unsubscribe
+// function. This models a vehicle driving into radio range.
+func (v *Vehicle) PassThrough(ch *dsrc.Channel) (leave func(), err error) {
+	return ch.Subscribe(func(b dsrc.Beacon) {
+		rep, err := v.HandleBeacon(b)
+		if err != nil || rep == nil {
+			return
+		}
+		// Loss is the channel's business; a lost report is simply a
+		// vehicle the RSU never counted.
+		_ = ch.Send(*rep)
+	})
+}
+
+// Rejected reports how many beacons failed verification (rogue RSUs).
+func (v *Vehicle) Rejected() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.rejected
+}
+
+// ResetVisits clears the per-period reporting memory; simulations call it
+// between reuse of the same vehicle fleet across scenario resets.
+func (v *Vehicle) ResetVisits() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.reported = make(map[visitKey]bool)
+}

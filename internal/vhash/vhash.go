@@ -1,0 +1,150 @@
+// Package vhash implements the privacy-preserving vehicle encoding of
+// Section II-D of the paper.
+//
+// A vehicle v holds a private key Kv and a private array C of s random
+// constants. Passing the RSU at location L during any measurement period it
+// computes
+//
+//	h_v = H(v ⊕ Kv ⊕ C[H(L ⊕ v) mod s]) mod m
+//
+// and reports only h_v. The inner hash picks one of the vehicle's s
+// "representative bits" as a function of the location, so the same vehicle
+// sets the same bit at the same location in every period (which is what
+// lets AND-joins isolate persistent traffic) but generally different bits
+// at different locations (which is what frustrates trajectory tracking).
+//
+// The paper only requires H to "provide good randomness". We use a
+// SplitMix64-style finalizer over the XOR-combined inputs, which passes
+// avalanche tests and is deterministic across runs and machines.
+package vhash
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Parameter bounds. s is the number of representative bits per vehicle
+// (Section II-D); the paper evaluates s in [2,5] and recommends s=3.
+const (
+	MinS = 1
+	MaxS = 64
+)
+
+// ErrInvalidS is returned for representative-bit counts outside [MinS, MaxS].
+var ErrInvalidS = errors.New("vhash: s out of range")
+
+// VehicleID identifies a vehicle. In a deployment this is the unique
+// electronic vehicle identity; it never leaves the vehicle.
+type VehicleID uint64
+
+// LocationID identifies an RSU location L. The paper folds the location's
+// coordinates into the hash input; any stable 64-bit encoding works.
+type LocationID uint64
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mixer used as
+// the hash H of the paper.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashH is the paper's H over a single 64-bit input. The constant offset
+// prevents H(0)=0 fixed points from aligning across call sites.
+func hashH(x uint64) uint64 {
+	return mix64(x + 0x9e3779b97f4a7c15)
+}
+
+// Identity is a vehicle's private encoding state: its ID, private key Kv,
+// and constant array C. The RSU and central server never see any of it;
+// only the final reduced index h_v is transmitted.
+type Identity struct {
+	id VehicleID
+	kv uint64
+	c  []uint64
+}
+
+// NewIdentity creates an identity with s representative bits, drawing Kv
+// and C from crypto/rand as the paper's "randomly selected constants".
+func NewIdentity(id VehicleID, s int) (*Identity, error) {
+	if s < MinS || s > MaxS {
+		return nil, fmt.Errorf("%w: %d not in [%d, %d]", ErrInvalidS, s, MinS, MaxS)
+	}
+	buf := make([]byte, 8*(s+1))
+	if _, err := rand.Read(buf); err != nil {
+		return nil, fmt.Errorf("vhash: drawing secrets: %w", err)
+	}
+	c := make([]uint64, s)
+	for i := range c {
+		c[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return &Identity{
+		id: id,
+		kv: binary.LittleEndian.Uint64(buf[8*s:]),
+		c:  c,
+	}, nil
+}
+
+// NewSeededIdentity creates an identity whose secrets are derived
+// deterministically from the given seed. Simulations use this to make
+// experiment runs reproducible; real vehicles use NewIdentity.
+func NewSeededIdentity(id VehicleID, s int, seed uint64) (*Identity, error) {
+	if s < MinS || s > MaxS {
+		return nil, fmt.Errorf("%w: %d not in [%d, %d]", ErrInvalidS, s, MinS, MaxS)
+	}
+	state := seed ^ mix64(uint64(id))
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		return mix64(state)
+	}
+	c := make([]uint64, s)
+	for i := range c {
+		c[i] = next()
+	}
+	return &Identity{id: id, kv: next(), c: c}, nil
+}
+
+// ID returns the vehicle's identifier.
+func (v *Identity) ID() VehicleID { return v.id }
+
+// S returns the number of representative bits.
+func (v *Identity) S() int { return len(v.c) }
+
+// locationSlot computes i = H(L ⊕ v) mod s, the location-dependent choice
+// among the vehicle's representative bits.
+func (v *Identity) locationSlot(loc LocationID) int {
+	return int(hashH(uint64(loc)^uint64(v.id)) % uint64(len(v.c)))
+}
+
+// Hash returns the full 64-bit hash the vehicle derives at location loc,
+// before reduction modulo a bitmap size. Because the RSU's bitmap size may
+// differ between periods, the un-reduced value is the stable quantity: for
+// power-of-two sizes m, Hash(loc) mod m is the transmitted index and the
+// expansion property of Section III-A holds across sizes.
+func (v *Identity) Hash(loc LocationID) uint64 {
+	return hashH(uint64(v.id) ^ v.kv ^ v.c[v.locationSlot(loc)])
+}
+
+// Index returns h_v = Hash(loc) mod m, the value the vehicle transmits to
+// the RSU at a location whose current bitmap has m bits. m must be a power
+// of two (enforced by the bitmap package; reduced here by masking).
+func (v *Identity) Index(loc LocationID, m int) uint64 {
+	return v.Hash(loc) & uint64(m-1)
+}
+
+// RepresentativeHashes returns the s full-width hashes H(v ⊕ Kv ⊕ C[i]),
+// i in [0, s). Bit Hash mod m of each is a representative bit of the
+// vehicle in an m-bit record (Section II-D). Exposed for analysis and
+// tests; a deployment never transmits these.
+func (v *Identity) RepresentativeHashes() []uint64 {
+	out := make([]uint64, len(v.c))
+	for i, ci := range v.c {
+		out[i] = hashH(uint64(v.id) ^ v.kv ^ ci)
+	}
+	return out
+}

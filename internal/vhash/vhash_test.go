@@ -1,0 +1,259 @@
+package vhash
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIdentityValidatesS(t *testing.T) {
+	for _, s := range []int{0, -1, 65, 1000} {
+		if _, err := NewIdentity(1, s); !errors.Is(err, ErrInvalidS) {
+			t.Errorf("NewIdentity(s=%d) err = %v, want ErrInvalidS", s, err)
+		}
+		if _, err := NewSeededIdentity(1, s, 42); !errors.Is(err, ErrInvalidS) {
+			t.Errorf("NewSeededIdentity(s=%d) err = %v, want ErrInvalidS", s, err)
+		}
+	}
+	for _, s := range []int{MinS, 3, MaxS} {
+		if _, err := NewIdentity(1, s); err != nil {
+			t.Errorf("NewIdentity(s=%d): %v", s, err)
+		}
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	a, err := NewSeededIdentity(77, 3, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSeededIdentity(77, 3, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range []LocationID{0, 1, 99} {
+		if a.Hash(loc) != b.Hash(loc) {
+			t.Errorf("same seed diverges at loc %d", loc)
+		}
+	}
+	c, err := NewSeededIdentity(77, 3, 124)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash(5) == c.Hash(5) {
+		t.Error("different seeds collide (suspicious)")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	v, err := NewSeededIdentity(42, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID() != 42 {
+		t.Errorf("ID() = %d", v.ID())
+	}
+	if v.S() != 5 {
+		t.Errorf("S() = %d", v.S())
+	}
+	if len(v.RepresentativeHashes()) != 5 {
+		t.Errorf("len(RepresentativeHashes) = %d", len(v.RepresentativeHashes()))
+	}
+}
+
+// TestSameLocationStable: the core persistence property — a vehicle maps to
+// the same index at the same location in every period, regardless of the
+// period's bitmap size (for power-of-two sizes, via mod compatibility).
+func TestSameLocationStable(t *testing.T) {
+	v, err := NewSeededIdentity(9, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const loc = LocationID(4)
+	h := v.Hash(loc)
+	for i := 0; i < 10; i++ {
+		if v.Hash(loc) != h {
+			t.Fatal("Hash not deterministic")
+		}
+	}
+	// Index at size l must equal Index at size m reduced mod l (l <= m).
+	for _, m := range []int{64, 256, 1 << 16} {
+		for _, l := range []int{64, 128} {
+			if l > m {
+				continue
+			}
+			if v.Index(loc, m)%uint64(l) != v.Index(loc, l) {
+				t.Errorf("index mod-compatibility broken: m=%d l=%d", m, l)
+			}
+		}
+	}
+}
+
+// TestIndexWithinRepresentatives: the transmitted index is always one of
+// the vehicle's s representative bits (Section II-D).
+func TestIndexWithinRepresentatives(t *testing.T) {
+	v, err := NewSeededIdentity(13, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := v.RepresentativeHashes()
+	const m = 1 << 12
+	for loc := LocationID(0); loc < 200; loc++ {
+		idx := v.Index(loc, m)
+		found := false
+		for _, r := range reps {
+			if r%uint64(m) == idx {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("index at loc %d not among representative bits", loc)
+		}
+	}
+}
+
+// TestLocationSlotCoverage: across many locations a vehicle should use all
+// s representative slots, roughly uniformly (probability 1/s each).
+func TestLocationSlotCoverage(t *testing.T) {
+	const s = 4
+	v, err := NewSeededIdentity(21, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint64]int)
+	const trials = 8000
+	for loc := LocationID(0); loc < trials; loc++ {
+		counts[v.Hash(loc)]++
+	}
+	if len(counts) != s {
+		t.Fatalf("vehicle used %d distinct hashes across locations, want %d", len(counts), s)
+	}
+	for h, n := range counts {
+		frac := float64(n) / trials
+		if math.Abs(frac-1.0/s) > 0.05 {
+			t.Errorf("slot %x frequency %.3f, want ~%.3f", h, frac, 1.0/s)
+		}
+	}
+}
+
+// TestIndexUniformity: indices from many distinct vehicles should be close
+// to uniform over the bitmap — the property Eq. (1) linear counting needs.
+func TestIndexUniformity(t *testing.T) {
+	const (
+		m        = 1 << 8
+		vehicles = 100000
+	)
+	var buckets [m]int
+	for i := 0; i < vehicles; i++ {
+		v, err := NewSeededIdentity(VehicleID(i), 3, 555)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buckets[v.Index(7, m)]++
+	}
+	// Chi-square with m-1 dof; mean m-1=255, sd ~ sqrt(2*255)=22.6.
+	// 340 is > +3.7 sd — loose enough to be robust, tight enough to catch
+	// structural bias.
+	expected := float64(vehicles) / m
+	chi2 := 0.0
+	for _, n := range buckets {
+		d := float64(n) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 340 {
+		t.Errorf("chi-square = %.1f over %d buckets: indices not uniform", chi2, m)
+	}
+}
+
+// TestDistinctVehiclesDiffer: two vehicles almost never share all their
+// representative bits; collision on a single index is allowed (that is the
+// privacy mechanism) but full-state collision would break estimation.
+func TestDistinctVehiclesDiffer(t *testing.T) {
+	f := func(ida, idb uint64, seed uint64) bool {
+		if ida == idb {
+			return true
+		}
+		a, errA := NewSeededIdentity(VehicleID(ida), 3, seed)
+		b, errB := NewSeededIdentity(VehicleID(idb), 3, seed)
+		if errA != nil || errB != nil {
+			return false
+		}
+		ra, rb := a.RepresentativeHashes(), b.RepresentativeHashes()
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCryptoIdentityDiffers: identities from crypto/rand differ between
+// constructions even with equal IDs (fresh Kv and C).
+func TestCryptoIdentityDiffers(t *testing.T) {
+	a, err := NewIdentity(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIdentity(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for loc := LocationID(0); loc < 64; loc++ {
+		if a.Hash(loc) == b.Hash(loc) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Error("two independently drawn identities hash identically everywhere")
+	}
+}
+
+// TestAvalanche: flipping one input bit flips ~half the output bits of the
+// mixer on average — the "good randomness" the paper assumes of H.
+func TestAvalanche(t *testing.T) {
+	const trials = 4096
+	total := 0
+	for i := uint64(0); i < trials; i++ {
+		x := i * 0x2545f4914f6cdd1d
+		for bit := uint(0); bit < 64; bit += 8 {
+			d := hashH(x) ^ hashH(x^(1<<bit))
+			total += popcount(d)
+		}
+	}
+	avg := float64(total) / (trials * 8)
+	if avg < 28 || avg > 36 {
+		t.Errorf("avalanche average = %.2f flipped bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkIndex(b *testing.B) {
+	v, err := NewSeededIdentity(1, 3, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = v.Index(LocationID(i), 1<<20)
+	}
+}
+
+func BenchmarkNewSeededIdentity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = NewSeededIdentity(VehicleID(i), 3, 42)
+	}
+}

@@ -1,0 +1,37 @@
+package ptm
+
+import (
+	"ptm/internal/privacy"
+)
+
+// PrivacyProfile quantifies the privacy preserved at a parameter point
+// (Section V): Noise is the probability p that the records implicate a
+// vehicle at a location pair it never visited; Info is the additional
+// probability p'−p when it did; Ratio is Noise/Info — above 1, tracking
+// inferences drawn from the records are more likely noise than signal.
+type PrivacyProfile = privacy.Profile
+
+// EvaluatePrivacy returns the asymptotic (large-record) privacy profile
+// for load factor f and representative-bit count s. The paper's Table II
+// is this function over f ∈ {1..4}, s ∈ {2..5}.
+func EvaluatePrivacy(f float64, s int) (PrivacyProfile, error) {
+	return privacy.Evaluate(f, s)
+}
+
+// PrivacySweep evaluates profiles over a parameter grid (s-major order).
+func PrivacySweep(fs []float64, ss []int) ([]PrivacyProfile, error) {
+	return privacy.Sweep(fs, ss)
+}
+
+// TrackingNoise returns the exact finite-size noise probability p
+// (Eq. 22) for a location whose record has mPrime bits and saw nPrime
+// vehicles.
+func TrackingNoise(nPrime float64, mPrime int) (float64, error) {
+	return privacy.Noise(nPrime, mPrime)
+}
+
+// NoiseToInformationRatio returns the exact finite-size ratio p/(p'−p)
+// (Eq. 24).
+func NoiseToInformationRatio(nPrime float64, mPrime, s int) (float64, error) {
+	return privacy.Ratio(nPrime, mPrime, s)
+}

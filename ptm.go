@@ -1,0 +1,134 @@
+// Package ptm is a Go implementation of privacy-preserving persistent
+// traffic measurement for vehicle-to-infrastructure (V2I) systems, after
+// Huang, Sun, Chen, Xu and Zhou, "Persistent Traffic Measurement Through
+// Vehicle-to-Infrastructure Communications", IEEE ICDCS 2017.
+//
+// Road-side units (RSUs) encode each passing vehicle into a bitmap
+// "traffic record" by setting a single pseudo-random bit derived from the
+// vehicle's private keys and the RSU's location; no identities are ever
+// transmitted or stored. The central server joins records across
+// measurement periods (and locations) and runs analytical estimators:
+//
+//   - EstimatePoint measures the point persistent traffic — the number of
+//     vehicles that passed one location in every one of t periods.
+//   - EstimatePointToPoint measures the point-to-point persistent traffic —
+//     the number of vehicles that passed two locations in every period.
+//   - EstimateVolume measures a single period's plain volume.
+//
+// The privacy guarantee is quantified by PrivacyProfile: the probability
+// that records implicate a vehicle that was never there ("noise") versus
+// the extra probability when it was ("information"). Parameters S
+// (representative bits per vehicle) and F (bitmap load factor) trade
+// estimation accuracy against that ratio; the paper recommends S=3, F=2.
+//
+// Besides the estimators, the package exposes the full simulated
+// deployment used by the paper's evaluation: a certificate authority,
+// RSUs, vehicles, a lossy DSRC broadcast channel, a central record store,
+// and a TCP backhaul protocol. See the examples directory.
+package ptm
+
+import (
+	"fmt"
+
+	"ptm/internal/lpc"
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Paper-recommended defaults (Section VI-C).
+const (
+	// DefaultS is the recommended number of representative bits per
+	// vehicle.
+	DefaultS = 3
+	// DefaultF is the recommended bitmap load factor.
+	DefaultF = 2.0
+)
+
+// Core identifier types.
+type (
+	// LocationID identifies an RSU location.
+	LocationID = vhash.LocationID
+	// PeriodID numbers measurement periods.
+	PeriodID = record.PeriodID
+	// VehicleID identifies a vehicle (never transmitted).
+	VehicleID = vhash.VehicleID
+)
+
+// Record is one RSU's privacy-preserving traffic record for one
+// measurement period.
+type Record = record.Record
+
+// VehicleIdentity is a vehicle's private encoding state (ID, private key,
+// constant array). It never leaves the vehicle.
+type VehicleIdentity = vhash.Identity
+
+// NewVehicleIdentity creates a vehicle identity with s representative bits
+// using cryptographically random secrets.
+func NewVehicleIdentity(id VehicleID, s int) (*VehicleIdentity, error) {
+	return vhash.NewIdentity(id, s)
+}
+
+// NewSeededVehicleIdentity creates a deterministic identity for
+// simulations and tests.
+func NewSeededVehicleIdentity(id VehicleID, s int, seed uint64) (*VehicleIdentity, error) {
+	return vhash.NewSeededIdentity(id, s, seed)
+}
+
+// RecordSize returns the Eq. (2) bitmap size for an RSU expecting the
+// given per-period traffic volume under load factor f.
+func RecordSize(expectedVolume, f float64) (int, error) {
+	return lpc.BitmapSize(expectedVolume, f)
+}
+
+// RecordBuilder accumulates vehicle observations into a traffic record —
+// the in-process equivalent of an RSU's measurement period, for
+// applications that do not need the full radio/PKI simulation.
+type RecordBuilder struct {
+	rec *record.Record
+}
+
+// NewRecordBuilder starts a record at loc for period p, sized by Eq. (2)
+// from the expected volume and load factor f (0 means DefaultF).
+func NewRecordBuilder(loc LocationID, p PeriodID, expectedVolume, f float64) (*RecordBuilder, error) {
+	if f == 0 {
+		f = DefaultF
+	}
+	m, err := lpc.BitmapSize(expectedVolume, f)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := record.New(loc, p, m)
+	if err != nil {
+		return nil, err
+	}
+	return &RecordBuilder{rec: rec}, nil
+}
+
+// Observe encodes one passing vehicle: it computes the vehicle's index for
+// this location and record size and sets that bit.
+func (b *RecordBuilder) Observe(v *VehicleIdentity) {
+	b.rec.Bitmap.Set(v.Index(b.rec.Location, b.rec.Size()))
+}
+
+// ObserveIndex folds a raw index report (as received over DSRC) into the
+// record.
+func (b *RecordBuilder) ObserveIndex(idx uint64) {
+	b.rec.Bitmap.Set(idx)
+}
+
+// Finish returns the completed record. The builder must not be used
+// afterwards.
+func (b *RecordBuilder) Finish() *Record {
+	rec := b.rec
+	b.rec = nil
+	return rec
+}
+
+// newSet validates a slice of records as one location's Π.
+func newSet(recs []*Record) (*record.Set, error) {
+	set, err := record.NewSet(recs)
+	if err != nil {
+		return nil, fmt.Errorf("ptm: assembling record set: %w", err)
+	}
+	return set, nil
+}

@@ -1,0 +1,265 @@
+package ptm
+
+import (
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+// makeRecords builds t records at loc with nCommon persistent vehicles and
+// nTransient fresh vehicles per period, using only the public API.
+func makeRecords(t *testing.T, loc LocationID, periods, nCommon, nTransient int, seed uint64) []*Record {
+	t.Helper()
+	common := make([]*VehicleIdentity, nCommon)
+	next := VehicleID(0)
+	for i := range common {
+		v, err := NewSeededVehicleIdentity(next, DefaultS, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next++
+		common[i] = v
+	}
+	recs := make([]*Record, periods)
+	for p := 1; p <= periods; p++ {
+		b, err := NewRecordBuilder(loc, PeriodID(p), float64(nCommon+nTransient), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range common {
+			b.Observe(v)
+		}
+		for i := 0; i < nTransient; i++ {
+			v, err := NewSeededVehicleIdentity(next, DefaultS, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next = next + 1 + VehicleID(p)*1000000
+			b.Observe(v)
+		}
+		recs[p-1] = b.Finish()
+	}
+	return recs
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	recs := makeRecords(t, 1, 5, 400, 3000, 42)
+	est, err := EstimatePoint(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(est.Estimate-400) / 400; re > 0.2 {
+		t.Errorf("estimate %v vs 400: rel err %.3f", est.Estimate, re)
+	}
+	vol, err := EstimateVolume(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(vol-3400) / 3400; re > 0.1 {
+		t.Errorf("volume %v vs 3400", vol)
+	}
+	base, err := EstimatePointBaseline(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base <= est.Estimate {
+		t.Errorf("baseline %v should overestimate vs %v", base, est.Estimate)
+	}
+}
+
+func TestEstimatePointErrors(t *testing.T) {
+	if _, err := EstimatePoint(nil); err == nil {
+		t.Error("nil records accepted")
+	}
+	one := makeRecords(t, 1, 1, 10, 100, 1)
+	if _, err := EstimatePoint(one); !errors.Is(err, ErrTooFewPeriods) {
+		t.Errorf("t=1 err = %v", err)
+	}
+}
+
+func TestRecordSize(t *testing.T) {
+	m, err := RecordSize(1000, 2)
+	if err != nil || m != 2048 {
+		t.Errorf("RecordSize = %d, %v", m, err)
+	}
+	if _, err := RecordSize(0, 2); err == nil {
+		t.Error("zero volume accepted")
+	}
+}
+
+func TestPointToPointFlow(t *testing.T) {
+	const nCommon = 500
+	common := make([]*VehicleIdentity, nCommon)
+	for i := range common {
+		v, err := NewSeededVehicleIdentity(VehicleID(i), DefaultS, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		common[i] = v
+	}
+	build := func(loc LocationID, transientBase VehicleID, vol int) []*Record {
+		recs := make([]*Record, 5)
+		for p := 1; p <= 5; p++ {
+			b, err := NewRecordBuilder(loc, PeriodID(p), float64(vol), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range common {
+				b.Observe(v)
+			}
+			for i := 0; i < vol-nCommon; i++ {
+				v, err := NewSeededVehicleIdentity(transientBase+VehicleID(p*1000000+i), DefaultS, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b.Observe(v)
+			}
+			recs[p-1] = b.Finish()
+		}
+		return recs
+	}
+	recsA := build(10, 1<<24, 4000)
+	recsB := build(11, 1<<25, 9000)
+	est, err := EstimatePointToPoint(recsA, recsB, DefaultS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(est.Estimate-nCommon) / nCommon; re > 0.2 {
+		t.Errorf("p2p estimate %v vs %d: rel err %.3f", est.Estimate, nCommon, re)
+	}
+}
+
+func TestConfidenceAPI(t *testing.T) {
+	recs := makeRecords(t, 2, 5, 600, 4000, 9)
+	est, err := EstimatePoint(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := PointConfidence(est, 0.95, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo > 600 || iv.Hi < 600 {
+		t.Errorf("interval [%v, %v] excludes truth 600", iv.Lo, iv.Hi)
+	}
+}
+
+func TestPrivacyAPI(t *testing.T) {
+	p, err := EvaluatePrivacy(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Ratio-1.9462) > 1e-3 || math.Abs(p.Noise-0.3935) > 1e-3 {
+		t.Errorf("profile = %+v", p)
+	}
+	grid, err := PrivacySweep([]float64{1, 2}, []int{2, 3})
+	if err != nil || len(grid) != 4 {
+		t.Errorf("sweep = %d profiles, %v", len(grid), err)
+	}
+	noise, err := TrackingNoise(451000, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := NoiseToInformationRatio(451000, 1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noise <= 0 || ratio <= 0 {
+		t.Errorf("noise=%v ratio=%v", noise, ratio)
+	}
+}
+
+func TestSiouxFallsAPI(t *testing.T) {
+	tab := SiouxFalls()
+	z, v := tab.MaxVolumeZone()
+	if z != SiouxFallsLPrime || math.Abs(v-451000) > 1 {
+		t.Errorf("max zone %d vol %v", z, v)
+	}
+}
+
+// TestDeploymentAPI drives the whole system through the public façade:
+// authority -> RSU -> vehicles over a lossy channel -> records -> TCP
+// upload -> central queries.
+func TestDeploymentAPI(t *testing.T) {
+	now := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+
+	authority, err := NewAuthority(now, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authority.IssueRSU(3, now, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannel(ChannelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := NewRSU(cred, ch, DefaultF, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewCentralServer(DefaultS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewTransportServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverConn, clientConn := net.Pipe()
+	go srv.ServeConn(serverConn)
+	client := NewClient(clientConn)
+	defer client.Close()
+
+	const fleetSize = 200
+	fleet := make([]*Vehicle, fleetSize)
+	for i := range fleet {
+		id, err := NewSeededVehicleIdentity(VehicleID(i), DefaultS, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet[i], err = NewVehicle(id, authority, int64(i), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := PeriodID(1); p <= 3; p++ {
+		if err := unit.StartPeriod(p, fleetSize); err != nil {
+			t.Fatal(err)
+		}
+		var leaves []func()
+		for _, v := range fleet {
+			leave, err := v.PassThrough(ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves = append(leaves, leave)
+		}
+		if err := unit.Beacon(); err != nil {
+			t.Fatal(err)
+		}
+		for _, leave := range leaves {
+			leave()
+		}
+		rec, err := unit.EndPeriod()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Upload(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The whole fleet is persistent: the estimate should be ~fleetSize.
+	got, err := client.QueryPointPersistent(3, []PeriodID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(got-fleetSize) / fleetSize; re > 0.25 {
+		t.Errorf("persistent estimate %v vs %d", got, fleetSize)
+	}
+}
