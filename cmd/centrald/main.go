@@ -55,7 +55,8 @@ func parseFlags(args []string) config {
 	fs.IntVar(&cfg.s, "s", 3, "system-wide representative-bit count")
 	fs.StringVar(&cfg.load, "load", "", "snapshot file to restore at startup")
 	fs.StringVar(&cfg.save, "save", "", "snapshot file to write on shutdown")
-	_ = fs.Parse(args) // ExitOnError
+	//ptmlint:allow errdrop -- flag.ExitOnError exits the process on a parse failure
+	_ = fs.Parse(args)
 	return cfg
 }
 
@@ -89,12 +90,17 @@ func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
 			return fmt.Errorf("http listen: %w", err)
 		}
 		httpSrv := &http.Server{Handler: store.Handler()}
+		//ptmlint:allow goroutinehygiene -- lifecycle is bounded by the deferred httpSrv.Close below
 		go func() {
 			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("http: %v", err)
 			}
 		}()
-		defer func() { _ = httpSrv.Close() }()
+		defer func() {
+			if err := httpSrv.Close(); err != nil {
+				logger.Printf("closing http: %v", err)
+			}
+		}()
 		logger.Printf("admin HTTP on %s", httpLn.Addr())
 		if cfg.httpReady != nil {
 			cfg.httpReady <- httpLn.Addr().String()

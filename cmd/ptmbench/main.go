@@ -23,6 +23,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"ptm/internal/cli"
 	"ptm/internal/privacy"
 	"ptm/internal/sim"
 	"ptm/internal/trips"
@@ -88,28 +89,30 @@ func run(args []string, out io.Writer) error {
 }
 
 func runTable1(out io.Writer, opts sim.Options, csv bool) error {
-	fmt.Fprintf(out, "# Table I: relative error of point-to-point persistent traffic estimation, Sioux Falls (runs=%d, s=3, f=2)\n", opts.Runs)
+	p := cli.NewPrinter(out)
+	p.Printf("# Table I: relative error of point-to-point persistent traffic estimation, Sioux Falls (runs=%d, s=3, f=2)\n", opts.Runs)
 	tab := trips.NewSiouxFalls()
 	res, err := sim.RunTable1(tab, nil, nil, opts)
 	if err != nil {
 		return err
 	}
 	if csv {
-		fmt.Fprintln(out, "L,n,m,m_ratio,n_common,relerr_t3,relerr_t5,relerr_t7,relerr_t10,same_size_t5")
+		p.Println("L,n,m,m_ratio,n_common,relerr_t3,relerr_t5,relerr_t7,relerr_t10,same_size_t5")
 		for _, c := range res.Columns {
-			fmt.Fprintf(out, "%d,%.0f,%d,%d,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			p.Printf("%d,%.0f,%d,%d,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
 				c.L, c.N, c.M, c.MRatio, c.NCommon,
 				c.RelErrByT[3], c.RelErrByT[5], c.RelErrByT[7], c.RelErrByT[10], c.SameSizeRelErr)
 		}
-		return nil
+		return p.Err()
 	}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	tp := cli.NewPrinter(w)
 	row := func(name string, f func(c sim.Table1Column) string) {
-		fmt.Fprintf(w, "%s", name)
+		tp.Printf("%s", name)
 		for _, c := range res.Columns {
-			fmt.Fprintf(w, "\t%s", f(c))
+			tp.Printf("\t%s", f(c))
 		}
-		fmt.Fprintln(w)
+		tp.Println()
 	}
 	row("L", func(c sim.Table1Column) string { return fmt.Sprintf("%d", c.L) })
 	row("n", func(c sim.Table1Column) string { return fmt.Sprintf("%.0f", c.N) })
@@ -123,98 +126,112 @@ func runTable1(out io.Writer, opts sim.Options, csv bool) error {
 		})
 	}
 	row("same-size (t=5)", func(c sim.Table1Column) string { return fmt.Sprintf("%.4f", c.SameSizeRelErr) })
+	if err := tp.Err(); err != nil {
+		return err
+	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "n' = %.0f at L' = %d, m' = %d\n\n", res.NPrime, trips.LPrime, res.MPrime)
-	return nil
+	p.Printf("n' = %.0f at L' = %d, m' = %d\n\n", res.NPrime, trips.LPrime, res.MPrime)
+	return p.Err()
 }
 
 func runTable2(out io.Writer, csv bool) error {
-	fmt.Fprintln(out, "# Table II: probabilistic noise-to-information ratio and noise p")
+	p := cli.NewPrinter(out)
+	p.Println("# Table II: probabilistic noise-to-information ratio and noise p")
 	if csv {
-		fmt.Fprintln(out, "s,f,ratio,noise")
+		p.Println("s,f,ratio,noise")
 		for _, s := range privacy.TableIISs {
 			for _, f := range privacy.TableIIFs {
-				p, err := privacy.Evaluate(f, s)
+				pr, err := privacy.Evaluate(f, s)
 				if err != nil {
 					return err
 				}
-				fmt.Fprintf(out, "%d,%.1f,%.4f,%.4f\n", s, f, p.Ratio, p.Noise)
+				p.Printf("%d,%.1f,%.4f,%.4f\n", s, f, pr.Ratio, pr.Noise)
 			}
 		}
-		return nil
+		return p.Err()
 	}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprint(w, "s\\f")
+	tp := cli.NewPrinter(w)
+	tp.Print("s\\f")
 	for _, f := range privacy.TableIIFs {
-		fmt.Fprintf(w, "\tf=%.1f", f)
+		tp.Printf("\tf=%.1f", f)
 	}
-	fmt.Fprintln(w)
+	tp.Println()
 	for _, s := range privacy.TableIISs {
-		fmt.Fprintf(w, "s=%d", s)
+		tp.Printf("s=%d", s)
 		for _, f := range privacy.TableIIFs {
-			p, err := privacy.Evaluate(f, s)
+			pr, err := privacy.Evaluate(f, s)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "\t%.4f", p.Ratio)
+			tp.Printf("\t%.4f", pr.Ratio)
 		}
-		fmt.Fprintln(w)
+		tp.Println()
 	}
-	fmt.Fprint(w, "p")
+	tp.Print("p")
 	for _, f := range privacy.TableIIFs {
-		p, err := privacy.Evaluate(f, 2)
+		pr, err := privacy.Evaluate(f, 2)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "\t%.4f", p.Noise)
+		tp.Printf("\t%.4f", pr.Noise)
 	}
-	fmt.Fprintln(w)
+	tp.Println()
+	if err := tp.Err(); err != nil {
+		return err
+	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintln(out)
-	return nil
+	p.Println()
+	return p.Err()
 }
 
 func runFig4(out io.Writer, opts sim.Options, csv bool) error {
+	p := cli.NewPrinter(out)
 	for _, t := range []int{5, 10} {
-		fmt.Fprintf(out, "# Figure 4 (%s plot): point persistent rel err vs actual volume, t=%d (runs=%d, s=3, f=2)\n",
+		p.Printf("# Figure 4 (%s plot): point persistent rel err vs actual volume, t=%d (runs=%d, s=3, f=2)\n",
 			map[int]string{5: "left", 10: "right"}[t], t, opts.Runs)
 		pts, err := sim.RunFig4(t, opts)
 		if err != nil {
 			return err
 		}
 		if csv {
-			fmt.Fprintln(out, "n_star,proposed,benchmark")
-			for _, p := range pts {
-				fmt.Fprintf(out, "%d,%.4f,%.4f\n", p.NStar, p.Proposed, p.Benchmark)
+			p.Println("n_star,proposed,benchmark")
+			for _, pt := range pts {
+				p.Printf("%d,%.4f,%.4f\n", pt.NStar, pt.Proposed, pt.Benchmark)
 			}
 			continue
 		}
 		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "n*\tproposed\tbenchmark")
-		for _, p := range pts {
-			fmt.Fprintf(w, "%d\t%.4f\t%.4f\n", p.NStar, p.Proposed, p.Benchmark)
+		tp := cli.NewPrinter(w)
+		tp.Println("n*\tproposed\tbenchmark")
+		for _, pt := range pts {
+			tp.Printf("%d\t%.4f\t%.4f\n", pt.NStar, pt.Proposed, pt.Benchmark)
+		}
+		if err := tp.Err(); err != nil {
+			return err
 		}
 		if err := w.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		p.Println()
 	}
-	return nil
+	return p.Err()
 }
 
 // runPrivacyEmpirical validates Section V by simulation: the measured
 // tracker-success frequencies against Eq. (22)/(23) across load factors.
 func runPrivacyEmpirical(out io.Writer, opts sim.Options, csv bool) error {
-	fmt.Fprintf(out, "# Empirical privacy validation (Section V), %d trials per point, s=3\n", opts.Runs)
+	p := cli.NewPrinter(out)
+	p.Printf("# Empirical privacy validation (Section V), %d trials per point, s=3\n", opts.Runs)
 	const mPrime = 1 << 14
 	if csv {
-		fmt.Fprintln(out, "f,p_emp,p_theory,hit_emp,hit_theory,ratio_emp,ratio_theory")
+		p.Println("f,p_emp,p_theory,hit_emp,hit_theory,ratio_emp,ratio_theory")
 	} else {
-		fmt.Fprintln(out, "f      p(emp)  p(thy)  p'(emp) p'(thy) ratio(emp) ratio(thy)")
+		p.Println("f      p(emp)  p(thy)  p'(emp) p'(thy) ratio(emp) ratio(thy)")
 	}
 	for _, f := range []float64{1, 2, 3, 4} {
 		nPrime := int(float64(mPrime) / f)
@@ -223,18 +240,19 @@ func runPrivacyEmpirical(out io.Writer, opts sim.Options, csv bool) error {
 			return err
 		}
 		if csv {
-			fmt.Fprintf(out, "%.1f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			p.Printf("%.1f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
 				f, res.NoiseEmp, res.NoiseThy, res.HitEmp, res.HitThy, res.RatioEmp, res.RatioThy)
 		} else {
-			fmt.Fprintf(out, "%-6.1f %.4f  %.4f  %.4f  %.4f  %-10.4f %.4f\n",
+			p.Printf("%-6.1f %.4f  %.4f  %.4f  %.4f  %-10.4f %.4f\n",
 				f, res.NoiseEmp, res.NoiseThy, res.HitEmp, res.HitThy, res.RatioEmp, res.RatioThy)
 		}
 	}
-	fmt.Fprintln(out)
-	return nil
+	p.Println()
+	return p.Err()
 }
 
 func runScatter(out io.Writer, name string, f float64, opts sim.Options, csv bool) error {
+	p := cli.NewPrinter(out)
 	left, err := sim.RunFigScatterPoint(5, opts)
 	if err != nil {
 		return err
@@ -250,23 +268,27 @@ func runScatter(out io.Writer, name string, f float64, opts sim.Options, csv boo
 		{name + " left (point persistent, t=5, f=" + fmt.Sprintf("%.0f", f) + ")", left},
 		{name + " right (point-to-point persistent, t=5, f=" + fmt.Sprintf("%.0f", f) + ")", right},
 	} {
-		fmt.Fprintf(out, "# %s: actual vs estimated\n", panel.title)
+		p.Printf("# %s: actual vs estimated\n", panel.title)
 		if csv {
-			fmt.Fprintln(out, "actual,estimated")
-			for _, p := range panel.pts {
-				fmt.Fprintf(out, "%.0f,%.1f\n", p.Actual, p.Estimated)
+			p.Println("actual,estimated")
+			for _, pt := range panel.pts {
+				p.Printf("%.0f,%.1f\n", pt.Actual, pt.Estimated)
 			}
 			continue
 		}
 		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "actual\testimated")
-		for _, p := range panel.pts {
-			fmt.Fprintf(w, "%.0f\t%.1f\n", p.Actual, p.Estimated)
+		tp := cli.NewPrinter(w)
+		tp.Println("actual\testimated")
+		for _, pt := range panel.pts {
+			tp.Printf("%.0f\t%.1f\n", pt.Actual, pt.Estimated)
+		}
+		if err := tp.Err(); err != nil {
+			return err
 		}
 		if err := w.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		p.Println()
 	}
-	return nil
+	return p.Err()
 }

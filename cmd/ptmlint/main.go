@@ -1,0 +1,86 @@
+// Command ptmlint runs the repo-specific static analyzers of internal/lint
+// over the given packages (default ./...) and prints findings as
+//
+//	file:line: [rule] message
+//
+// It exits 0 when clean, 1 when findings exist, and 2 on load or usage
+// errors. The rule set protects invariants the Go type system cannot see:
+// crypto-quality randomness in privacy-critical packages, power-of-two
+// bitmap sizes, lock discipline on guarded struct fields, handled errors,
+// and goroutine lifecycle hygiene. See DESIGN.md for the full rule table.
+//
+//	ptmlint [-rules cryptorand,pow2size,...] [-list] [packages]
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ptm/internal/cli"
+	"ptm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("ptmlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	rules := fs.String("rules", "", "comma-separated rule subset (default: all rules)")
+	list := fs.Bool("list", false, "print the available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	p, ep := cli.NewPrinter(out), cli.NewPrinter(errOut)
+	if *list {
+		for _, a := range lint.All() {
+			p.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return exitCode(0, p)
+	}
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		ep.Println("ptmlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := &lint.Loader{}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		ep.Println("ptmlint:", err)
+		return 2
+	}
+	diags := lint.Run(loader.Fset(), pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+				name = rel
+			}
+		}
+		p.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		ep.Printf("ptmlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return exitCode(1, p)
+	}
+	return exitCode(0, p)
+}
+
+// exitCode degrades a successful run to status 2 when the report itself
+// could not be written (e.g. a closed pipe), so scripts never mistake a
+// half-printed run for a clean one.
+func exitCode(code int, p *cli.Printer) int {
+	if p.Err() != nil && code == 0 {
+		return 2
+	}
+	return code
+}

@@ -20,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"ptm/internal/central"
+	"ptm/internal/cli"
 	"ptm/internal/core"
 	"ptm/internal/record"
 	"ptm/internal/vhash"
@@ -64,7 +65,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	st := store.Stats()
-	fmt.Fprintf(out, "PTM traffic report — %d locations, %d records (%s)\n\n", st.Locations, st.Records, *snapshot)
+	p := cli.NewPrinter(out)
+	p.Printf("PTM traffic report — %d locations, %d records (%s)\n\n", st.Locations, st.Records, *snapshot)
+	if err := p.Err(); err != nil {
+		return err
+	}
 
 	locs := store.Locations()
 	for _, loc := range locs {
@@ -77,10 +82,12 @@ func run(args []string, out io.Writer) error {
 
 func reportLocation(out io.Writer, store *central.Server, loc vhash.LocationID, window int, level float64) error {
 	periods := store.Periods(loc)
-	fmt.Fprintf(out, "location %d — %d periods\n", loc, len(periods))
+	rp := cli.NewPrinter(out)
+	rp.Printf("location %d — %d periods\n", loc, len(periods))
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprint(w, "  volume")
+	tp := cli.NewPrinter(w)
+	tp.Print("  volume")
 	var meanVol float64
 	for _, p := range periods {
 		v, err := store.Volume(loc, p)
@@ -88,9 +95,12 @@ func reportLocation(out io.Writer, store *central.Server, loc vhash.LocationID, 
 			return err
 		}
 		meanVol += v / float64(len(periods))
-		fmt.Fprintf(w, "\tp%d: %.0f", p, v)
+		tp.Printf("\tp%d: %.0f", p, v)
 	}
-	fmt.Fprintln(w)
+	tp.Println()
+	if err := tp.Err(); err != nil {
+		return err
+	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
@@ -103,9 +113,9 @@ func reportLocation(out io.Writer, store *central.Server, loc vhash.LocationID, 
 			if iv, err := core.PointConfidence(res, level, 0, 1); err == nil {
 				line += fmt.Sprintf("  [%d%% CI: %.0f, %.0f]", int(level*100), iv.Lo, iv.Hi)
 			}
-			fmt.Fprintln(out, line)
+			rp.Println(line)
 		default:
-			fmt.Fprintf(out, "  persistent core: unavailable (%v)\n", err)
+			rp.Printf("  persistent core: unavailable (%v)\n", err)
 		}
 	}
 	if window >= 2 && len(periods) >= window {
@@ -113,14 +123,14 @@ func reportLocation(out io.Writer, store *central.Server, loc vhash.LocationID, 
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  stability (window %d):", window)
+		rp.Printf("  stability (window %d):", window)
 		for _, win := range wins {
-			fmt.Fprintf(out, " %.0f", win.Estimate)
+			rp.Printf(" %.0f", win.Estimate)
 		}
-		fmt.Fprintln(out)
+		rp.Println()
 	}
-	fmt.Fprintln(out)
-	return nil
+	rp.Println()
+	return rp.Err()
 }
 
 func reportPairs(out io.Writer, store *central.Server, locs []vhash.LocationID, maxPairs int) error {
@@ -150,10 +160,18 @@ func reportPairs(out io.Writer, store *central.Server, locs []vhash.LocationID, 
 	if len(pairs) > maxPairs {
 		pairs = pairs[:maxPairs]
 	}
-	fmt.Fprintln(out, "top persistent location pairs:")
+	hp := cli.NewPrinter(out)
+	hp.Println("top persistent location pairs:")
+	if err := hp.Err(); err != nil {
+		return err
+	}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	tp := cli.NewPrinter(w)
 	for _, p := range pairs {
-		fmt.Fprintf(w, "  %d <-> %d\t%.0f vehicles\n", p.a, p.b, p.est)
+		tp.Printf("  %d <-> %d\t%.0f vehicles\n", p.a, p.b, p.est)
+	}
+	if err := tp.Err(); err != nil {
+		return err
 	}
 	return w.Flush()
 }

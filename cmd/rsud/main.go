@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"ptm/internal/cli"
 	"ptm/internal/dsrc"
 	"ptm/internal/pki"
 	"ptm/internal/record"
@@ -81,7 +82,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
-		return vehicle.New(ident, authority.TrustAnchor(), int64(id), nil)
+		return vehicle.New(ident, authority.TrustAnchor(), nil)
 	}
 	persistent := make([]*vehicle.Vehicle, *fleet)
 	for i := range persistent {
@@ -142,6 +143,7 @@ func run(args []string, out io.Writer) error {
 	chStats := ch.Stats()
 	logger.Printf("done: %d periods, beacon loss %d/%d, ground-truth persistent fleet = %d",
 		*periods, chStats.BeaconsLost, chStats.BeaconsSent, *fleet)
-	fmt.Fprintf(out, "location %d: uploaded %d periods; true persistent volume %d\n", *loc, *periods, *fleet)
-	return nil
+	p := cli.NewPrinter(out)
+	p.Printf("location %d: uploaded %d periods; true persistent volume %d\n", *loc, *periods, *fleet)
+	return p.Err()
 }

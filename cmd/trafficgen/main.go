@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"ptm/internal/cli"
 	"ptm/internal/record"
 	"ptm/internal/synth"
 	"ptm/internal/transport"
@@ -48,6 +49,7 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	out := cli.NewPrinter(w)
 	if *centralAddr == "" && *outDir == "" {
 		return fmt.Errorf("need -central and/or -out")
 	}
@@ -100,7 +102,7 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 		}
-		fmt.Fprintf(w, "wrote %d records to %s\n", len(recs), *outDir)
+		out.Printf("wrote %d records to %s\n", len(recs), *outDir)
 	}
 
 	if *centralAddr != "" {
@@ -114,7 +116,7 @@ func run(args []string, w io.Writer) error {
 				return fmt.Errorf("uploading loc=%d period=%d: %w", rec.Location, rec.Period, err)
 			}
 		}
-		fmt.Fprintf(w, "uploaded %d records (locA=%d locB=%d, %d periods, true common=%d)\n",
+		out.Printf("uploaded %d records (locA=%d locB=%d, %d periods, true common=%d)\n",
 			len(recs), *locA, *locB, *periods, *common)
 
 		if *query {
@@ -130,12 +132,12 @@ func run(args []string, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "point persistent at %d:    estimated %.1f (true >= %d)\n", *locA, pp, *common)
-			fmt.Fprintf(w, "point-to-point persistent: estimated %.1f (true %d, rel err %.4f)\n",
+			out.Printf("point persistent at %d:    estimated %.1f (true >= %d)\n", *locA, pp, *common)
+			out.Printf("point-to-point persistent: estimated %.1f (true %d, rel err %.4f)\n",
 				p2p, *common, abs(p2p-float64(*common))/float64(*common))
 		}
 	}
-	return nil
+	return out.Err()
 }
 
 func abs(x float64) float64 {

@@ -43,6 +43,10 @@ type (
 	Client = transport.Client
 )
 
+// ErrServerClosed is returned by TransportServer.Serve after Close; use
+// it to tell an orderly shutdown from a transport failure.
+var ErrServerClosed = transport.ErrServerClosed
+
 // NewAuthority creates the trusted third party, valid from now for the
 // given duration.
 func NewAuthority(now time.Time, validity time.Duration) (*Authority, error) {
@@ -61,9 +65,11 @@ func NewRSU(cred *Credential, ch *Channel, f float64, clock func() time.Time) (*
 }
 
 // NewVehicle creates an on-board unit from its private identity and the
-// authority's trust anchor.
-func NewVehicle(id *VehicleIdentity, a *Authority, seed int64, clock func() time.Time) (*Vehicle, error) {
-	return vehicle.New(id, a.TrustAnchor(), seed, clock)
+// authority's trust anchor. One-time MAC addresses come from crypto/rand;
+// simulations needing reproducible addresses can use
+// vehicle.NewWithMACSource directly.
+func NewVehicle(id *VehicleIdentity, a *Authority, clock func() time.Time) (*Vehicle, error) {
+	return vehicle.New(id, a.TrustAnchor(), clock)
 }
 
 // NewCentralServer creates an empty record store configured with the

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -53,8 +54,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	go func() { _ = srv.Serve(ln) }()
-	defer srv.Close()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("closing server: %v", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, ptm.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	}()
 
 	// Three RSUs, each with its own (lossy) radio neighborhood.
 	type site struct {
@@ -92,7 +101,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fleet[i], err = ptm.NewVehicle(id, authority, int64(i), nil)
+		fleet[i], err = ptm.NewVehicle(id, authority, nil)
 		if err != nil {
 			return err
 		}
@@ -122,7 +131,7 @@ func run() error {
 					return err
 				}
 				nextLocal++
-				lv, err := ptm.NewVehicle(id, authority, int64(nextLocal), nil)
+				lv, err := ptm.NewVehicle(id, authority, nil)
 				if err != nil {
 					return err
 				}

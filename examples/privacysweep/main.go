@@ -20,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"ptm"
+	"ptm/internal/cli"
 )
 
 const (
@@ -31,7 +32,8 @@ const (
 
 func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "f\ts\tnoise/info ratio\tnoise p\tmean rel err (p2p)")
+	tp := cli.NewPrinter(w)
+	tp.Println("f\ts\tnoise/info ratio\tnoise p\tmean rel err (p2p)")
 	for _, f := range []float64{1.5, 2, 3} {
 		for _, s := range []int{2, 3, 5} {
 			prof, err := ptm.EvaluatePrivacy(f, s)
@@ -43,8 +45,11 @@ func main() {
 			if f == 2 && s == 3 {
 				marker = "  <- paper's recommendation"
 			}
-			fmt.Fprintf(w, "%.1f\t%d\t%.3f\t%.3f\t%.4f%s\n", f, s, prof.Ratio, prof.Noise, re, marker)
+			tp.Printf("%.1f\t%d\t%.3f\t%.3f\t%.4f%s\n", f, s, prof.Ratio, prof.Noise, re, marker)
 		}
+	}
+	if err := tp.Err(); err != nil {
+		log.Fatal(err)
 	}
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)

@@ -119,8 +119,8 @@ func TestCityIntegrationTLS(t *testing.T) {
 				t.Fatal(err)
 			}
 			var leaves []func()
-			for i, id := range vehicles {
-				v, err := NewVehicle(id, authority, int64(day*1_000_000+i), clock)
+			for _, id := range vehicles {
+				v, err := NewVehicle(id, authority, clock)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -214,7 +214,7 @@ func TestScheduledRSUIntegration(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		v, err := NewVehicle(id, authority, int64(i), nil)
+		v, err := NewVehicle(id, authority, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

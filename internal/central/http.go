@@ -26,6 +26,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//ptmlint:allow errdrop -- the response is committed; a failed write means the client hung up
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -175,6 +176,7 @@ func queryPeriods(r *http.Request) ([]record.PeriodID, error) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	//ptmlint:allow errdrop -- headers are sent; mid-body failures cannot be reported to the client
 	_ = json.NewEncoder(w).Encode(v)
 }
 

@@ -1,0 +1,56 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"io"
+)
+
+// Printer writes formatted report output while tracking the first write
+// error. The command tools produce multi-line reports with dozens of
+// print calls; checking each fmt.Fprintf individually buries the logic,
+// while ignoring them hides ENOSPC or closed-pipe failures from scripts
+// that redirect reports to files. Printer keeps the call sites clean and
+// satisfies the errdrop rule honestly: after the first failure it stops
+// writing, and Err surfaces the failure for the command's exit status.
+type Printer struct {
+	w   io.Writer
+	err error
+}
+
+// NewPrinter wraps w.
+func NewPrinter(w io.Writer) *Printer {
+	return &Printer{w: w}
+}
+
+// Printf formats to the underlying writer unless a previous write failed.
+func (p *Printer) Printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Println writes the operands followed by a newline.
+func (p *Printer) Println(args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintln(p.w, args...)
+}
+
+// Print writes the operands.
+func (p *Printer) Print(args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprint(p.w, args...)
+}
+
+// Err returns the first write error, or nil.
+func (p *Printer) Err() error {
+	if p.err != nil {
+		return fmt.Errorf("cli: writing report: %w", p.err)
+	}
+	return nil
+}

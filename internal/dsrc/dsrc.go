@@ -8,6 +8,7 @@
 package dsrc
 
 import (
+	crand "crypto/rand"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -200,13 +201,33 @@ func (c *Channel) Stats() Stats {
 }
 
 // NewAnonymousMAC draws a fresh locally administered, unicast MAC address
-// from rng — the SpoofMAC one-time address model.
+// from rng — the SpoofMAC one-time address model. It exists for
+// simulations that need reproducible runs; deployments use NewSecureMAC,
+// whose addresses cannot be predicted by an observer.
 func NewAnonymousMAC(rng *rand.Rand) MAC {
 	var m MAC
 	v := rng.Uint64()
 	for i := 0; i < 6; i++ {
 		m[i] = byte(v >> (8 * i))
 	}
-	m[0] = (m[0] | 0x02) &^ 0x01 // locally administered, unicast
+	return finishMAC(m)
+}
+
+// NewSecureMAC draws a fresh locally administered, unicast MAC address
+// from crypto/rand. Unpredictability is what makes consecutive reports
+// unlinkable at the link layer (Section II-B), so this is the source the
+// vehicle runtime uses outside of simulations.
+func NewSecureMAC() (MAC, error) {
+	var m MAC
+	if _, err := crand.Read(m[:]); err != nil {
+		return MAC{}, fmt.Errorf("dsrc: drawing one-time MAC: %w", err)
+	}
+	return finishMAC(m), nil
+}
+
+// finishMAC forces the locally-administered bit on and the multicast bit
+// off, the address class SpoofMAC draws from.
+func finishMAC(m MAC) MAC {
+	m[0] = (m[0] | 0x02) &^ 0x01
 	return m
 }

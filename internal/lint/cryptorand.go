@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// defaultPrivacyCritical lists the package-path suffixes where weak
+// randomness breaks the paper's privacy argument (Section V): vehicle key
+// material Kv and C (internal/vhash), authority/RSU credentials
+// (internal/pki), and the vehicle runtime that draws one-time MAC
+// addresses (internal/vehicle).
+var defaultPrivacyCritical = []string{
+	"internal/vhash",
+	"internal/pki",
+	"internal/vehicle",
+}
+
+// Cryptorand returns the analyzer forbidding math/rand imports in
+// privacy-critical packages. critical overrides the default package list
+// (used by tests); nil selects the default. A package is critical when its
+// import path equals an entry or ends with "/"+entry.
+//
+// The rule exists because a seeded or guessable generator lets an observer
+// reconstruct Kv, the constant array C, or the one-time MACs — exactly the
+// linkage the pseudonym-change literature shows is exploitable. Simulation
+// code that genuinely needs reproducible randomness annotates the import
+// line with //ptmlint:allow cryptorand.
+func Cryptorand(critical []string) *Analyzer {
+	if critical == nil {
+		critical = defaultPrivacyCritical
+	}
+	return &Analyzer{
+		Name: "cryptorand",
+		Doc:  "privacy-critical packages must use crypto/rand, not math/rand",
+		Run: func(pass *Pass) {
+			if !pathMatches(pass.Pkg.Path, critical) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if path == "math/rand" || path == "math/rand/v2" {
+						pass.Reportf(imp.Pos(),
+							"import of %s in privacy-critical package %s; use crypto/rand for key material and one-time identifiers",
+							path, pass.Pkg.Path)
+					}
+				}
+			}
+		},
+	}
+}
+
+func pathMatches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

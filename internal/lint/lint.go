@@ -1,0 +1,221 @@
+// Package lint implements ptmlint, a repo-specific static-analysis pass
+// that enforces invariants of the measurement system which the Go type
+// system cannot express:
+//
+//   - privacy-critical packages must draw randomness from crypto/rand
+//     (rule cryptorand), or the one-time MAC / index-value unlinkability
+//     argument of Section V collapses;
+//   - bitmap sizes must be powers of two in [64, 1<<30] (rule pow2size),
+//     or the replication-based expansion of Section III-A is undefined;
+//   - fields guarded by a struct mutex must not be touched off-lock
+//     (rule lockedfields);
+//   - errors must not be silently dropped (rule errdrop);
+//   - goroutines must have a visible completion linkage (rule
+//     goroutinehygiene).
+//
+// The framework is deliberately dependency-free: packages are loaded with
+// `go list -deps -export -json` (the toolchain supplies export data for
+// every dependency, so only the linted package itself is type-checked from
+// source) and analyzed with go/ast + go/types.
+//
+// Findings can be suppressed line-by-line with a directive comment on the
+// offending line or the line immediately above it:
+//
+//	//ptmlint:allow <rule> [reason...]
+//
+// Suppressions are intentionally narrow; there is no file- or
+// package-level escape hatch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by position and rule name.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one named checker. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description of the invariant the rule protects.
+	Doc string
+	// Run analyzes pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset     *token.FileSet
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the running analyzer's rule name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "ptmlint:allow"
+
+// allowedAt reports whether rule is suppressed for a diagnostic on the
+// given file line: a //ptmlint:allow comment on the same line or the line
+// directly above covers it.
+func (pkg *Package) allowedAt(pos token.Position, rule string) bool {
+	lines := pkg.allow[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range lines[l] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanDirectives indexes //ptmlint:allow comments by file and line.
+func scanDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					out[pos.Filename] = m
+				}
+				// The first field is a comma-separated rule list; anything
+				// after the first space is free-form reason text.
+				for _, rule := range strings.Split(fields[0], ",") {
+					if rule != "" {
+						m[pos.Line] = append(m[pos.Line], rule)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by file, line, and rule.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Fset: fset, Pkg: pkg, analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pkg := byFile(pkgs, d.Pos.Filename)
+		if pkg != nil && pkg.allowedAt(d.Pos, d.Rule) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+func byFile(pkgs []*Package, filename string) *Package {
+	for _, p := range pkgs {
+		if _, ok := p.allow[filename]; ok {
+			return p
+		}
+		for _, f := range p.fileNames {
+			if f == filename {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// All returns the full analyzer set in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Cryptorand(nil),
+		Pow2Size(),
+		LockedFields(),
+		ErrDrop(),
+		GoroutineHygiene(),
+	}
+}
+
+// ByName resolves a comma-separated rule list against All; unknown names
+// are an error.
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

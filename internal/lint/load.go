@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	// Path is the import path (e.g. "ptm/internal/bitmap").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Name is the package name from the package clause.
+	Name string
+	// Files are the parsed non-test sources, in go list order.
+	Files []*ast.File
+	// Types and Info carry go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+
+	fileNames []string
+	allow     map[string]map[int][]string
+}
+
+// Loader loads and type-checks packages of the enclosing module. The
+// toolchain does the heavy lifting: `go list -deps -export -json` compiles
+// every dependency and hands back export data, so type-checking a package
+// never recurses into dependency sources.
+type Loader struct {
+	// Dir is the directory go list runs in (any directory inside the
+	// module). Empty means the current directory.
+	Dir string
+
+	fset *token.FileSet
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matched by patterns
+// (plus, invisibly, their dependencies as export data). Test files are
+// excluded by construction: `go list`'s GoFiles field omits them.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+	}
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(l.fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Name == "" {
+			continue
+		}
+		pkg, err := l.check(p, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Fset returns the file set shared by every loaded package.
+func (l *Loader) Fset() *token.FileSet {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+	}
+	return l.fset
+}
+
+func (l *Loader) goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		listed = append(listed, p)
+	}
+	return listed, nil
+}
+
+func (l *Loader) check(p listedPackage, imp types.Importer) (*Package, error) {
+	pkg := &Package{Path: p.ImportPath, Dir: p.Dir, Name: p.Name}
+	for _, name := range p.GoFiles {
+		path := filepath.Join(p.Dir, name)
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.fileNames = append(pkg.fileNames, path)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.allow = scanDirectives(l.fset, pkg.Files)
+	return pkg, nil
+}

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockedFields returns the analyzer enforcing the repo's mutex-grouping
+// convention: in a struct with a sync.Mutex or sync.RWMutex field, the
+// fields declared immediately below the mutex (up to the first blank
+// line or the end of the struct) form the guarded group, and methods of
+// the struct must acquire the lock before touching them.
+//
+// The check is a dominance heuristic, not an escape analysis: a method is
+// clean when a <recv>.<mu>.Lock() / RLock() call appears textually before
+// the first guarded-field access in the method body. Methods that lock,
+// unlock, and then access are out of scope, as are accesses through
+// aliases of the receiver. The point is to catch the common refactoring
+// accident — a new method or early-return path that forgets the lock
+// entirely — cheaply and with near-zero false positives.
+func LockedFields() *Analyzer {
+	return &Analyzer{
+		Name: "lockedfields",
+		Doc:  "mutex-guarded struct fields must not be accessed before the lock is taken",
+		Run:  runLockedFields,
+	}
+}
+
+// guardedStruct describes one struct with a mutex-guarded field group.
+type guardedStruct struct {
+	typeName string
+	muName   string
+	guarded  map[string]bool
+}
+
+func runLockedFields(pass *Pass) {
+	guarded := make(map[string]*guardedStruct)
+	for _, f := range pass.Pkg.Files {
+		collectGuardedStructs(pass, f, guarded)
+	}
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			gs, ok := guarded[receiverTypeName(recv.Type)]
+			if !ok || len(recv.Names) == 0 {
+				continue
+			}
+			checkMethodLocking(pass, recv.Names[0].Name, gs, fd)
+		}
+	}
+}
+
+// collectGuardedStructs finds structs with a sync mutex field and records
+// the contiguous field group that follows it.
+func collectGuardedStructs(pass *Pass, f *ast.File, out map[string]*guardedStruct) {
+	syncName, ok := importName(f, "sync")
+	if !ok {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		muIdx, muName := -1, ""
+		for i, field := range st.Fields.List {
+			if !isSyncMutex(field.Type, syncName) {
+				continue
+			}
+			muIdx = i
+			if len(field.Names) > 0 {
+				muName = field.Names[0].Name
+			} else {
+				// Embedded sync.Mutex: methods are promoted, so the
+				// receiver locks via the type name.
+				muName = "Mutex"
+			}
+			break
+		}
+		if muIdx < 0 {
+			return true
+		}
+		gs := &guardedStruct{typeName: ts.Name.Name, muName: muName, guarded: make(map[string]bool)}
+		prevLine := pass.Fset.Position(st.Fields.List[muIdx].End()).Line
+		for _, field := range st.Fields.List[muIdx+1:] {
+			line := pass.Fset.Position(field.Pos()).Line
+			if line > prevLine+1 {
+				break // blank line ends the guarded group
+			}
+			prevLine = pass.Fset.Position(field.End()).Line
+			for _, name := range field.Names {
+				gs.guarded[name.Name] = true
+			}
+		}
+		if len(gs.guarded) > 0 {
+			out[gs.typeName] = gs
+		}
+		return true
+	})
+}
+
+// checkMethodLocking walks the method body in source order and reports
+// guarded-field accesses that precede the first lock acquisition.
+func checkMethodLocking(pass *Pass, recvName string, gs *guardedStruct, fd *ast.FuncDecl) {
+	locked := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if locked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isLockCall(n, recvName, gs.muName) {
+				locked = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			x, ok := unparen(n.X).(*ast.Ident)
+			if !ok || x.Name != recvName {
+				return true
+			}
+			if gs.guarded[n.Sel.Name] {
+				pass.Reportf(n.Pos(),
+					"%s.%s is guarded by %s.%s but accessed before %s.%s.Lock() in %s",
+					recvName, n.Sel.Name, gs.typeName, gs.muName, recvName, gs.muName, fd.Name.Name)
+			}
+			return false // don't descend into n.Sel
+		}
+		return true
+	})
+}
+
+// isLockCall matches recv.mu.Lock() and recv.mu.RLock().
+func isLockCall(call *ast.CallExpr, recvName, muName string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return false
+	}
+	mu, ok := unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != muName {
+		return false
+	}
+	recv, ok := unparen(mu.X).(*ast.Ident)
+	return ok && recv.Name == recvName
+}
+
+// isSyncMutex reports whether a field type is sync.Mutex or sync.RWMutex,
+// possibly behind a pointer.
+func isSyncMutex(t ast.Expr, syncName string) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != syncName {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// receiverTypeName extracts the base type name of a method receiver.
+func receiverTypeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(t.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// importName returns the local name under which a file imports path.
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"`+path+`"` {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		// Default name: last path element.
+		name := path
+		for i := len(path) - 1; i >= 0; i-- {
+			if path[i] == '/' {
+				name = path[i+1:]
+				break
+			}
+		}
+		return name, true
+	}
+	return "", false
+}
+
+// unparen strips parentheses from an expression.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

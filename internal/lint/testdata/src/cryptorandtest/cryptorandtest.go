@@ -1,0 +1,27 @@
+// Package cryptorandtest is golden-file input for the cryptorand rule.
+// The golden test loads it once with the package marked privacy-critical
+// (the flagged import below must be reported, the allowed one must not)
+// and once with the default critical list (no findings at all, since this
+// package is not on it).
+package cryptorandtest
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want `import of math/rand in privacy-critical package`
+
+	//ptmlint:allow cryptorand -- reproducible stream for the simulation half of this fixture
+	mrandv2 "math/rand/v2"
+)
+
+// Use every import so the fixture compiles.
+var (
+	_ = rand.Int63
+	_ = mrandv2.Int
+)
+
+// Key draws key material the way a privacy-critical package should.
+func Key() ([16]byte, error) {
+	var k [16]byte
+	_, err := crand.Read(k[:])
+	return k, err
+}

@@ -1,0 +1,48 @@
+// Package errdroptest is golden-file input for the errdrop rule: error
+// results must be handled, returned, or explicitly allowed.
+package errdroptest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func two() (int, error) { return 0, errors.New("boom") }
+
+// Bad drops errors in both shapes the rule recognizes.
+func Bad(w io.Writer) {
+	mayFail()            // want `result of mayFail includes an error that is not checked`
+	_ = mayFail()        // want `error from mayFail discarded with blank identifier`
+	_, _ = two()         // want `error from two discarded with blank identifier`
+	fmt.Fprintln(w, "x") // want `result of fmt\.Fprintln includes an error`
+}
+
+// Good covers every shape the rule must NOT flag.
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	// Partial use is a deliberate choice, not a drop.
+	n, _ := two()
+	// Printing to the process's standard streams is exempt.
+	fmt.Println("n =", n)
+	fmt.Fprintf(os.Stderr, "n = %d\n", n)
+	// Writers documented never to fail are exempt.
+	var sb strings.Builder
+	sb.WriteString("ok")
+	// Direct defer of an error-returning call has nowhere to put the
+	// error; the rule skips it by design.
+	defer mayFail()
+	return nil
+}
+
+// Allowed shows the narrow, reasoned escape hatch.
+func Allowed() {
+	//ptmlint:allow errdrop -- fixture exercising the directive itself
+	_ = mayFail()
+}

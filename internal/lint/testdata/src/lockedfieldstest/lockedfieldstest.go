@@ -1,0 +1,66 @@
+// Package lockedfieldstest is golden-file input for the lockedfields
+// rule: fields in the contiguous group below a sync mutex are guarded and
+// must not be touched before the lock is taken.
+package lockedfieldstest
+
+import "sync"
+
+type counter struct {
+	name string // before the mutex: unguarded
+
+	mu sync.Mutex
+	n  int
+	m  int
+
+	label string // after the blank line: outside the guarded group
+}
+
+// Good locks before touching guarded state.
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n + c.m
+}
+
+// Bad forgets the lock entirely.
+func (c *counter) Bad() int {
+	return c.n // want `c\.n is guarded by counter\.mu but accessed before c\.mu\.Lock\(\) in Bad`
+}
+
+// BadLate touches one guarded field on the way to taking the lock.
+func (c *counter) BadLate() int {
+	if c.m == 0 { // want `c\.m is guarded by counter\.mu`
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Unguarded fields stay accessible without the lock.
+func (c *counter) Describe() string {
+	return c.name + "/" + c.label
+}
+
+// AllowedPeek documents a deliberately racy read.
+func (c *counter) AllowedPeek() int {
+	//ptmlint:allow lockedfields -- monitoring read; staleness is acceptable here
+	return c.n
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val float64
+}
+
+// Read shows RLock also satisfies the rule.
+func (g *gauge) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// Bad reads the guarded value without any lock.
+func (g *gauge) Bad() float64 {
+	return g.val // want `g\.val is guarded by gauge\.mu`
+}

@@ -1,0 +1,34 @@
+// Package pow2sizetest is golden-file input for the pow2size rule:
+// constant bitmap sizes must be powers of two in [64, 1<<30].
+package pow2sizetest
+
+import "ptm/internal/bitmap"
+
+// goodSize shows that named constants are folded before checking.
+const goodSize = 1 << 20
+
+// Good sizes: in range, powers of two, or not constant at all.
+func Good(runtimeSize int) {
+	_, _ = bitmap.New(64)
+	_, _ = bitmap.New(1 << 30)
+	_ = bitmap.MustNew(goodSize)
+	// Run-time sizes are the constructor's job, not the linter's.
+	_, _ = bitmap.New(runtimeSize)
+	_, _ = bitmap.New(runtimeSize * 2)
+}
+
+// Bad sizes: each line must produce exactly the finding it annotates.
+func Bad() {
+	_, _ = bitmap.New(100)      // want `size 100 is not a power of two`
+	_, _ = bitmap.New(32)       // want `size 32 outside \[64, 1<<30\]`
+	_, _ = bitmap.New(1 << 31)  // want `outside \[64, 1<<30\]`
+	_ = bitmap.MustNew(3 << 20) // want `MustNew size 3145728 is not a power of two`
+	_ = bitmap.MustNew((96))    // want `size 96 is not a power of two`
+}
+
+// Allowed keeps a deliberate violation behind a directive (it exercises
+// the constructor's own validation in a downstream test).
+func Allowed() {
+	//ptmlint:allow pow2size -- exercising bitmap.New's own validation path
+	_, _ = bitmap.New(65)
+}

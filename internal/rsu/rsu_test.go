@@ -53,7 +53,7 @@ func (w *world) fleet(t *testing.T, n int, seed uint64) []*vehicle.Vehicle {
 		if err != nil {
 			t.Fatal(err)
 		}
-		v, err := vehicle.New(id, w.authority.TrustAnchor(), int64(i), fixedClock)
+		v, err := vehicle.New(id, w.authority.TrustAnchor(), fixedClock)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +148,7 @@ func TestFullProtocolRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			transientID++
-			tv, err := vehicle.New(id, w.authority.TrustAnchor(), int64(transientID), fixedClock)
+			tv, err := vehicle.New(id, w.authority.TrustAnchor(), fixedClock)
 			if err != nil {
 				t.Fatal(err)
 			}

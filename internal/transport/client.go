@@ -17,10 +17,11 @@ import (
 // Client is an RSU- or operator-side connection to the central server.
 // It is safe for concurrent use; requests are serialized on the wire.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn net.Conn // set at construction, never reassigned
+
+	mu sync.Mutex // serializes whole request/response exchanges on the wire
+	br *bufio.Reader
+	bw *bufio.Writer
 }
 
 // RemoteError is an application-level failure reported by the server

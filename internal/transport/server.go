@@ -67,6 +67,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			//ptmlint:allow errdrop -- losing a just-accepted conn during shutdown is not actionable
 			_ = conn.Close()
 			return ErrServerClosed
 		}
@@ -101,6 +102,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	ln := s.ln
 	for conn := range s.conns {
+		//ptmlint:allow errdrop -- best-effort teardown; the per-conn goroutine reports read errors
 		_ = conn.Close()
 	}
 	s.mu.Unlock()
@@ -114,6 +116,7 @@ func (s *Server) Close() error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
+		//ptmlint:allow errdrop -- double-close on the shutdown path is expected and harmless
 		_ = conn.Close()
 	}()
 	br := bufio.NewReader(conn)

@@ -4,12 +4,25 @@
 // h_v = H(v ⊕ Kv ⊕ C[H(L ⊕ v) mod s]) mod m, and transmit it under a
 // fresh one-time MAC address. The vehicle never transmits its identity or
 // any other fixed value.
+//
+// # Randomness policy
+//
+// This package is privacy-critical and deliberately does not import
+// math/rand (enforced by ptmlint's cryptorand rule). The unlinkability of
+// consecutive reports rests on the one-time MAC addresses being
+// unpredictable: a seeded or otherwise guessable generator would let a
+// roadside observer replay the generator and stitch reports from the same
+// vehicle back together — precisely the pseudonym-linkage attack the
+// paper's design avoids. New therefore draws MACs from crypto/rand.
+// Simulations that need reproducible runs inject their own generator via
+// NewWithMACSource; such call sites live outside this package, next to a
+// //ptmlint:allow cryptorand directive where a deterministic source is
+// constructed.
 package vehicle
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -22,16 +35,19 @@ import (
 // Clock abstracts time for deterministic tests.
 type Clock func() time.Time
 
+// MACSource produces the fresh one-time link-layer address used for each
+// report (the SpoofMAC model of Section II-B).
+type MACSource func() (dsrc.MAC, error)
+
 // Vehicle is one on-board unit.
 type Vehicle struct {
 	identity *vhash.Identity
 	verifier *pki.Verifier
 	clock    Clock
+	macs     MACSource // set at construction, never reassigned
 
 	mu       sync.Mutex
-	rng      *rand.Rand
 	reported map[visitKey]bool
-
 	rejected uint64
 }
 
@@ -41,13 +57,20 @@ type visitKey struct {
 }
 
 // ErrNilDependency is returned when constructor arguments are missing.
-var ErrNilDependency = errors.New("vehicle: nil identity or verifier")
+var ErrNilDependency = errors.New("vehicle: nil identity, verifier, or MAC source")
 
 // New creates a vehicle from its private identity and the pre-installed
-// trust anchor. seed drives the one-time MAC generator; clock may be nil
-// for time.Now.
-func New(identity *vhash.Identity, verifier *pki.Verifier, seed int64, clock Clock) (*Vehicle, error) {
-	if identity == nil || verifier == nil {
+// trust anchor, drawing one-time MAC addresses from crypto/rand; clock
+// may be nil for time.Now. This is the constructor for deployments.
+func New(identity *vhash.Identity, verifier *pki.Verifier, clock Clock) (*Vehicle, error) {
+	return NewWithMACSource(identity, verifier, clock, dsrc.NewSecureMAC)
+}
+
+// NewWithMACSource creates a vehicle with an explicit one-time MAC
+// generator. Simulations use it for reproducible runs; deployments should
+// use New, whose crypto/rand source keeps consecutive reports unlinkable.
+func NewWithMACSource(identity *vhash.Identity, verifier *pki.Verifier, clock Clock, macs MACSource) (*Vehicle, error) {
+	if identity == nil || verifier == nil || macs == nil {
 		return nil, ErrNilDependency
 	}
 	if clock == nil {
@@ -57,7 +80,7 @@ func New(identity *vhash.Identity, verifier *pki.Verifier, seed int64, clock Clo
 		identity: identity,
 		verifier: verifier,
 		clock:    clock,
-		rng:      rand.New(rand.NewSource(seed)),
+		macs:     macs,
 		reported: make(map[visitKey]bool),
 	}, nil
 }
@@ -90,6 +113,12 @@ func (v *Vehicle) HandleBeacon(b dsrc.Beacon) (*dsrc.Report, error) {
 		// verification; the error is surfaced for observability only.
 		return nil, fmt.Errorf("vehicle: beacon rejected: %w", err)
 	}
+	// Draw the one-time address outside the lock; a slow entropy source
+	// must not serialize unrelated beacon handling.
+	mac, err := v.macs()
+	if err != nil {
+		return nil, fmt.Errorf("vehicle: drawing one-time MAC: %w", err)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.reported[key] {
@@ -97,7 +126,7 @@ func (v *Vehicle) HandleBeacon(b dsrc.Beacon) (*dsrc.Report, error) {
 	}
 	v.reported[key] = true
 	return &dsrc.Report{
-		SrcMAC: dsrc.NewAnonymousMAC(v.rng),
+		SrcMAC: mac,
 		Period: b.Period,
 		Index:  v.identity.Index(b.Location, b.M),
 	}, nil
@@ -114,6 +143,7 @@ func (v *Vehicle) PassThrough(ch *dsrc.Channel) (leave func(), err error) {
 		}
 		// Loss is the channel's business; a lost report is simply a
 		// vehicle the RSU never counted.
+		//ptmlint:allow errdrop -- radio loss is modeled by the channel, not handled by the sender
 		_ = ch.Send(*rep)
 	})
 }

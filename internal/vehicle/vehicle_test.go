@@ -35,7 +35,7 @@ func newFixture(t *testing.T, loc vhash.LocationID) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := New(id, a.TrustAnchor(), 7, fixedClock)
+	v, err := New(id, a.TrustAnchor(), fixedClock)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func (f *fixture) beacon(t *testing.T, loc vhash.LocationID, m int, p record.Per
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(nil, nil, 0, nil); !errors.Is(err, ErrNilDependency) {
+	if _, err := New(nil, nil, nil); !errors.Is(err, ErrNilDependency) {
 		t.Errorf("err = %v, want ErrNilDependency", err)
 	}
 }

@@ -1,0 +1,53 @@
+package vhash
+
+import "testing"
+
+// FuzzIndex checks the invariants the transmitted index h_v must satisfy
+// for arbitrary identities, locations, and bitmap sizes:
+//
+//   - the index is the full hash reduced modulo m (and therefore < m);
+//   - it is deterministic for a fixed (identity, location, m);
+//   - the replication-expansion property of Section III-A holds: for
+//     power-of-two sizes l | m, the index in the small map is the index in
+//     the large map reduced mod l, so records of different sizes stay
+//     comparable after expansion;
+//   - the index lands on one of the vehicle's s representative bits.
+func FuzzIndex(f *testing.F) {
+	f.Add(uint64(1), uint64(42), uint64(7), uint8(3), uint8(10))
+	f.Add(uint64(0), uint64(0), uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(1<<63), uint64(999), uint64(1<<40), uint8(64), uint8(255))
+
+	f.Fuzz(func(t *testing.T, id, seed, loc uint64, sRaw, eRaw uint8) {
+		s := int(sRaw)%MaxS + MinS
+		// m in [64, 1<<20]; doubling below stays well under MaxBits.
+		m := 1 << (6 + int(eRaw)%15)
+
+		v, err := NewSeededIdentity(VehicleID(id), s, seed)
+		if err != nil {
+			t.Fatalf("NewSeededIdentity(%d, %d, %d): %v", id, s, seed, err)
+		}
+		idx := v.Index(LocationID(loc), m)
+		if idx >= uint64(m) {
+			t.Fatalf("index %d escapes bitmap of %d bits", idx, m)
+		}
+		if want := v.Hash(LocationID(loc)) & uint64(m-1); idx != want {
+			t.Fatalf("index %d is not the reduced hash %d", idx, want)
+		}
+		if again := v.Index(LocationID(loc), m); again != idx {
+			t.Fatalf("index not deterministic: %d then %d", idx, again)
+		}
+		if big := v.Index(LocationID(loc), 2*m); big&uint64(m-1) != idx {
+			t.Fatalf("expansion broken: index %d in %d bits, %d in %d bits", idx, m, big, 2*m)
+		}
+		onRep := false
+		for _, h := range v.RepresentativeHashes() {
+			if h&uint64(m-1) == idx {
+				onRep = true
+				break
+			}
+		}
+		if !onRep {
+			t.Fatalf("index %d is not any of the %d representative bits", idx, s)
+		}
+	})
+}

@@ -223,7 +223,7 @@ func TestDeploymentAPI(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fleet[i], err = NewVehicle(id, authority, int64(i), clock)
+		fleet[i], err = NewVehicle(id, authority, clock)
 		if err != nil {
 			t.Fatal(err)
 		}

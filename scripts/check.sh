@@ -1,0 +1,41 @@
+#!/bin/sh
+# check.sh — the full verification gauntlet for the ptm repo.
+#
+# Runs, in order:
+#   1. go build            (everything compiles)
+#   2. go vet              (toolchain static checks)
+#   3. ptmlint             (repo-specific invariants; see DESIGN.md)
+#   4. go test -race       (unit + integration tests under the race detector)
+#   5. fuzz smoke          (a few seconds per fuzz target, seeds + mutation)
+#
+# Usage: scripts/check.sh [fuzztime]
+#   fuzztime  per-target fuzzing budget for the smoke stage (default 5s)
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${1:-5s}"
+
+step() {
+	printf '==> %s\n' "$*"
+}
+
+step "go build ./..."
+go build ./...
+
+step "go vet ./..."
+go vet ./...
+
+step "ptmlint ./..."
+go run ./cmd/ptmlint ./...
+
+step "go test -race ./..."
+go test -race ./...
+
+step "fuzz smoke ($FUZZTIME per target)"
+# Each fuzz target runs alone: `go test -fuzz` accepts a single match.
+go test -run=NONE -fuzz='^FuzzUnmarshal$' -fuzztime="$FUZZTIME" ./internal/bitmap/
+go test -run=NONE -fuzz='^FuzzUnmarshal$' -fuzztime="$FUZZTIME" ./internal/record/
+go test -run=NONE -fuzz='^FuzzRoundTrip$' -fuzztime="$FUZZTIME" ./internal/record/
+go test -run=NONE -fuzz='^FuzzIndex$' -fuzztime="$FUZZTIME" ./internal/vhash/
+
+step "all checks passed"
