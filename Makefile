@@ -1,0 +1,24 @@
+# Convenience entry points; every target is plain go-toolchain underneath,
+# so nothing here is required — see scripts/check.sh for the CI gauntlet.
+
+GO ?= go
+
+.PHONY: build test lint check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs ptmlint (all rules plus the suppression audit) in human-readable
+# form. scripts/check.sh runs the same pass with -format=sarif and archives
+# the report.
+lint:
+	$(GO) run ./cmd/ptmlint ./...
+
+check:
+	scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

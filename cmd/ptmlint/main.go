@@ -3,13 +3,20 @@
 //
 //	file:line: [rule] message
 //
-// It exits 0 when clean, 1 when findings exist, and 2 on load or usage
-// errors. The rule set protects invariants the Go type system cannot see:
-// crypto-quality randomness in privacy-critical packages, power-of-two
-// bitmap sizes, lock discipline on guarded struct fields, handled errors,
-// and goroutine lifecycle hygiene. See DESIGN.md for the full rule table.
+// with witness-path hops (for the interprocedural privflow rule) indented
+// beneath the finding. It exits 0 when clean, 1 when findings exist, and
+// 2 on load or usage errors. The rule set protects invariants the Go type
+// system cannot see: crypto-quality randomness in privacy-critical
+// packages, power-of-two bitmap sizes, lock discipline on guarded struct
+// fields, handled errors, goroutine lifecycle hygiene, and — via the
+// whole-program privflow taint analysis — the paper's privacy boundary:
+// no private vehicle state may reach transport, records, logs, or
+// encoders except through the vhash index reduction. Every run also
+// audits //ptmlint:allow suppressions: a directive whose rule no longer
+// fires on its line is itself a stale-directive finding, so the escape
+// hatch cannot rot. See DESIGN.md for the full rule table.
 //
-//	ptmlint [-rules cryptorand,pow2size,...] [-list] [packages]
+//	ptmlint [-rules cryptorand,privflow,...] [-format text|json|sarif] [-list] [packages]
 package main
 
 import (
@@ -30,6 +37,7 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("ptmlint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	rules := fs.String("rules", "", "comma-separated rule subset (default: all rules)")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
 	list := fs.Bool("list", false, "print the available rules and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -39,7 +47,15 @@ func run(args []string, out, errOut io.Writer) int {
 		for _, a := range lint.All() {
 			p.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
+		p.Printf("%-18s %s\n", lint.StaleDirective,
+			"(always on) //ptmlint:allow directives must still suppress a finding")
 		return exitCode(0, p)
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		ep.Println("ptmlint: unknown -format", *format, "(want text, json, or sarif)")
+		return 2
 	}
 	analyzers, err := lint.ByName(*rules)
 	if err != nil {
@@ -57,16 +73,42 @@ func run(args []string, out, errOut io.Writer) int {
 		ep.Println("ptmlint:", err)
 		return 2
 	}
-	diags := lint.Run(loader.Fset(), pkgs, analyzers)
+	diags := lint.RunAudited(loader.Fset(), pkgs, analyzers)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
+	rel := func(name string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
-				name = rel
+			if r, err := filepath.Rel(cwd, name); err == nil && len(r) < len(name) {
+				return r
 			}
 		}
-		p.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Rule, d.Message)
+		return name
+	}
+	switch *format {
+	case "json":
+		buf, err := lint.FormatJSON(diags, rel)
+		if err != nil {
+			ep.Println("ptmlint:", err)
+			return 2
+		}
+		p.Printf("%s\n", buf)
+	case "sarif":
+		buf, err := lint.FormatSARIF(diags, analyzers, rel)
+		if err != nil {
+			ep.Println("ptmlint:", err)
+			return 2
+		}
+		p.Printf("%s\n", buf)
+	default:
+		for _, d := range diags {
+			p.Printf("%s:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Rule, d.Message)
+			for _, r := range d.Related {
+				if r.Pos.Filename == "" {
+					p.Printf("\t%s\n", r.Note)
+					continue
+				}
+				p.Printf("\t%s:%d: %s\n", rel(r.Pos.Filename), r.Pos.Line, r.Note)
+			}
+		}
 	}
 	if len(diags) > 0 {
 		ep.Printf("ptmlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

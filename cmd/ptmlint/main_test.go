@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ptm/internal/lint"
+)
+
+// fixture is a package with a known privflow finding, addressed relative
+// to this package directory (go test runs with cwd = cmd/ptmlint).
+const fixture = "ptm/internal/lint/testdata/src/privflow/direct"
+
+func TestRunTextFindings(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-rules", "privflow", fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[privflow]") {
+		t.Errorf("text output missing rule tag:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "\t") || !strings.Contains(out.String(), "argument to sink") {
+		t.Errorf("text output missing indented witness hops:\n%s", out.String())
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-rules", "privflow", "-format", "json", fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	var findings []struct {
+		Rule string `json:"rule"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 || findings[0].Rule != "privflow" {
+		t.Errorf("unexpected findings: %+v", findings)
+	}
+}
+
+func TestRunSARIFFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-rules", "privflow", "-format", "sarif", fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("stdout is not SARIF JSON: %v", err)
+	}
+	if doc.Schema != lint.SARIFSchemaURI || doc.Version != lint.SARIFVersion {
+		t.Errorf("schema/version = %q/%q", doc.Schema, doc.Version)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Fatalf("SARIF runs/results missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "yaml", fixture}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown -format") {
+		t.Errorf("stderr does not explain the bad flag: %s", errOut.String())
+	}
+}
+
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints the whole module")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"ptm/..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("ptmlint over the shipped tree: exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, want := range []string{"privflow", lint.StaleDirective} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -72,6 +72,8 @@ func (b *Bitmap) Words() int { return len(b.words) }
 // Set sets bit i to one. Callers index with a hash value already reduced
 // modulo Size; Set reduces again defensively so a hostile or buggy report
 // cannot write out of range.
+//
+//ptm:sink bitmap write
 func (b *Bitmap) Set(i uint64) {
 	i &= uint64(b.nbits - 1) // nbits is a power of two
 	b.words[i/wordBits] |= 1 << (i % wordBits)
@@ -241,6 +243,8 @@ const (
 // MarshalBinary serializes the bitmap with a CRC32 trailer so that records
 // damaged in transit or storage are rejected rather than silently skewing
 // the estimators.
+//
+//ptm:sink bitmap serialization
 func (b *Bitmap) MarshalBinary() ([]byte, error) {
 	out := make([]byte, headerLen+len(b.words)*8+4)
 	binary.LittleEndian.PutUint32(out[0:4], marshalMagic)

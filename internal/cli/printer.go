@@ -24,6 +24,8 @@ func NewPrinter(w io.Writer) *Printer {
 }
 
 // Printf formats to the underlying writer unless a previous write failed.
+//
+//ptm:sink formatting
 func (p *Printer) Printf(format string, args ...any) {
 	if p.err != nil {
 		return
@@ -32,6 +34,8 @@ func (p *Printer) Printf(format string, args ...any) {
 }
 
 // Println writes the operands followed by a newline.
+//
+//ptm:sink formatting
 func (p *Printer) Println(args ...any) {
 	if p.err != nil {
 		return
@@ -40,6 +44,8 @@ func (p *Printer) Println(args ...any) {
 }
 
 // Print writes the operands.
+//
+//ptm:sink formatting
 func (p *Printer) Print(args ...any) {
 	if p.err != nil {
 		return

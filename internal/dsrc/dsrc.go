@@ -129,7 +129,10 @@ func (c *Channel) AttachSink(fn func(Report)) error {
 
 // Broadcast delivers the beacon to every subscribed vehicle, dropping each
 // copy independently with probability BeaconLoss. Listeners run on the
-// caller's goroutine, outside the channel lock.
+// caller's goroutine, outside the channel lock. Beacons are visible to
+// every radio in range: a public sink.
+//
+//ptm:sink dsrc broadcast
 func (c *Channel) Broadcast(b Beacon) error {
 	c.mu.Lock()
 	if c.closed {
@@ -152,7 +155,10 @@ func (c *Channel) Broadcast(b Beacon) error {
 	return nil
 }
 
-// Send transmits a vehicle report to the RSU, subject to ReportLoss.
+// Send transmits a vehicle report to the RSU, subject to ReportLoss. The
+// over-the-air report is observable by any radio in range: a public sink.
+//
+//ptm:sink dsrc transmission
 func (c *Channel) Send(r Report) error {
 	c.mu.Lock()
 	if c.closed {

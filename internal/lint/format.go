@@ -1,0 +1,190 @@
+package lint
+
+// Machine-readable renderings of diagnostics: a compact JSON form for
+// scripts and a SARIF 2.1.0 document for CI annotation surfaces and
+// editors. Both preserve the privflow witness path — JSON as a "path"
+// hop list, SARIF as a codeFlow/threadFlow.
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// jsonHop is one witness-path step in the JSON rendering.
+type jsonHop struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Note string `json:"note"`
+}
+
+type jsonDiag struct {
+	File    string    `json:"file"`
+	Line    int       `json:"line"`
+	Rule    string    `json:"rule"`
+	Message string    `json:"message"`
+	Path    []jsonHop `json:"path,omitempty"`
+}
+
+// Relativizer rewrites an absolute diagnostic filename for output; nil
+// keeps filenames as-is.
+type Relativizer func(string) string
+
+func relName(rel Relativizer, name string) string {
+	if rel != nil {
+		name = rel(name)
+	}
+	return name
+}
+
+// FormatJSON renders diagnostics as a JSON array (stable field order,
+// one object per finding, witness hops under "path").
+func FormatJSON(diags []Diagnostic, rel Relativizer) ([]byte, error) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiag{
+			File:    relName(rel, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Rule:    d.Rule,
+			Message: d.Message,
+		}
+		for _, r := range d.Related {
+			jd.Path = append(jd.Path, jsonHop{File: relName(rel, r.Pos.Filename), Line: r.Pos.Line, Note: r.Note})
+		}
+		out = append(out, jd)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// SARIFSchemaURI and SARIFVersion identify the produced SARIF dialect.
+const (
+	SARIFSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+	SARIFVersion   = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLoc `json:"locations"`
+}
+
+type sarifThreadFlowLoc struct {
+	Location sarifLocation `json:"location"`
+}
+
+func sarifLoc(rel Relativizer, file string, line int, note string) sarifLocation {
+	if line < 1 {
+		line = 1
+	}
+	loc := sarifLocation{
+		PhysicalLocation: sarifPhysical{
+			ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relName(rel, file))},
+			Region:           sarifRegion{StartLine: line},
+		},
+	}
+	if note != "" {
+		loc.Message = &sarifMessage{Text: note}
+	}
+	return loc
+}
+
+// FormatSARIF renders diagnostics as a SARIF 2.1.0 log. analyzers supply
+// the rule metadata; the stale-directive pseudo-rule is always included.
+func FormatSARIF(diags []Diagnostic, analyzers []*Analyzer, rel Relativizer) ([]byte, error) {
+	driver := sarifDriver{
+		Name:           "ptmlint",
+		InformationURI: "https://github.com/ptm/ptm#verifying-invariants-ptmlint",
+	}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID:               StaleDirective,
+		ShortDescription: sarifMessage{Text: "//ptmlint:allow directives must still suppress a finding"},
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:    d.Rule,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{sarifLoc(rel, d.Pos.Filename, d.Pos.Line, "")},
+		}
+		if len(d.Related) > 0 {
+			tf := sarifThreadFlow{}
+			for _, r := range d.Related {
+				file := r.Pos.Filename
+				if file == "" {
+					file = d.Pos.Filename // built-in sources carry no position
+				}
+				tf.Locations = append(tf.Locations, sarifThreadFlowLoc{Location: sarifLoc(rel, file, r.Pos.Line, r.Note)})
+			}
+			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{tf}}}
+		}
+		results = append(results, res)
+	}
+	doc := sarifLog{
+		Schema:  SARIFSchemaURI,
+		Version: SARIFVersion,
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

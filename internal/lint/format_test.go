@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func formatFixtureDiags(t *testing.T) []Diagnostic {
+	t.Helper()
+	loader := &Loader{}
+	pkgs, err := loader.Load("./testdata/src/privflow/interproc")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(loader.Fset(), pkgs, []*Analyzer{Privflow()})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	return diags
+}
+
+func TestFormatJSON(t *testing.T) {
+	diags := formatFixtureDiags(t)
+	buf, err := FormatJSON(diags, nil)
+	if err != nil {
+		t.Fatalf("FormatJSON: %v", err)
+	}
+	var out []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+		Path    []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Note string `json:"note"`
+		} `json:"path"`
+	}
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(out) != len(diags) {
+		t.Fatalf("got %d JSON findings, want %d", len(out), len(diags))
+	}
+	for i, jd := range out {
+		if jd.Rule != "privflow" || jd.File == "" || jd.Line == 0 || jd.Message == "" {
+			t.Errorf("finding %d incomplete: %+v", i, jd)
+		}
+		if len(jd.Path) != len(diags[i].Related) {
+			t.Errorf("finding %d has %d path hops, want %d", i, len(jd.Path), len(diags[i].Related))
+		}
+	}
+	// A relativizer must rewrite every filename, including hop files.
+	buf, err = FormatJSON(diags, func(string) string { return "REL" })
+	if err != nil {
+		t.Fatalf("FormatJSON with relativizer: %v", err)
+	}
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, jd := range out {
+		if jd.File != "REL" {
+			t.Errorf("relativizer not applied to finding file %q", jd.File)
+		}
+		for _, h := range jd.Path {
+			if h.File != "REL" && h.File != "" {
+				t.Errorf("relativizer not applied to hop file %q", h.File)
+			}
+		}
+	}
+}
+
+// TestFormatJSONEmpty ensures a clean run renders as an empty array, not
+// JSON null — consumers index into the result unconditionally.
+func TestFormatJSONEmpty(t *testing.T) {
+	buf, err := FormatJSON(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(buf)); got != "[]" {
+		t.Fatalf("empty run renders as %q, want []", got)
+	}
+}
+
+// sarifCheck validates one structural requirement of the SARIF 2.1.0
+// schema: property present, right JSON type.
+func sarifGet[T any](t *testing.T, obj map[string]any, key, where string) T {
+	t.Helper()
+	v, ok := obj[key]
+	if !ok {
+		t.Fatalf("SARIF: %s missing required property %q", where, key)
+	}
+	tv, ok := v.(T)
+	if !ok {
+		t.Fatalf("SARIF: %s property %q has type %T, want %T", where, key, v, tv)
+	}
+	return tv
+}
+
+// TestFormatSARIFSchema checks the produced document against the SARIF
+// 2.1.0 schema's structural requirements (the required properties and
+// types of sarifLog, run, tool, driver, result, location, codeFlow —
+// §3.13, §3.14, §3.18, §3.19, §3.27, §3.28, §3.36 of the spec), without
+// needing the network to fetch the schema itself.
+func TestFormatSARIFSchema(t *testing.T) {
+	diags := formatFixtureDiags(t)
+	diags = append(diags, Diagnostic{
+		Pos:     token.Position{Filename: "x.go", Line: 3},
+		Rule:    StaleDirective,
+		Message: "//ptmlint:allow errdrop no longer suppresses any finding; remove the directive",
+	})
+	buf, err := FormatSARIF(diags, All(), nil)
+	if err != nil {
+		t.Fatalf("FormatSARIF: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got := sarifGet[string](t, doc, "$schema", "log"); got != SARIFSchemaURI {
+		t.Errorf("$schema = %q, want %q", got, SARIFSchemaURI)
+	}
+	if got := sarifGet[string](t, doc, "version", "log"); got != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", got)
+	}
+	runs := sarifGet[[]any](t, doc, "runs", "log")
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	tool := sarifGet[map[string]any](t, run, "tool", "run")
+	driver := sarifGet[map[string]any](t, tool, "driver", "tool")
+	if got := sarifGet[string](t, driver, "name", "driver"); got != "ptmlint" {
+		t.Errorf("driver name = %q, want ptmlint", got)
+	}
+	ruleIDs := make(map[string]bool)
+	for i, r := range sarifGet[[]any](t, driver, "rules", "driver") {
+		rule := r.(map[string]any)
+		where := fmt.Sprintf("rules[%d]", i)
+		id := sarifGet[string](t, rule, "id", where)
+		desc := sarifGet[map[string]any](t, rule, "shortDescription", where)
+		sarifGet[string](t, desc, "text", where+".shortDescription")
+		ruleIDs[id] = true
+	}
+	if !ruleIDs["privflow"] || !ruleIDs[StaleDirective] {
+		t.Errorf("driver rules %v missing privflow or %s", ruleIDs, StaleDirective)
+	}
+	results := sarifGet[[]any](t, run, "results", "run")
+	if len(results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(results), len(diags))
+	}
+	var sawCodeFlow bool
+	for i, r := range results {
+		res := r.(map[string]any)
+		where := fmt.Sprintf("results[%d]", i)
+		if id := sarifGet[string](t, res, "ruleId", where); !ruleIDs[id] {
+			t.Errorf("%s ruleId %q not declared by the driver", where, id)
+		}
+		if lvl := sarifGet[string](t, res, "level", where); lvl != "error" {
+			t.Errorf("%s level = %q, want error", where, lvl)
+		}
+		msg := sarifGet[map[string]any](t, res, "message", where)
+		sarifGet[string](t, msg, "text", where+".message")
+		for j, l := range sarifGet[[]any](t, res, "locations", where) {
+			checkSARIFLocation(t, l.(map[string]any), fmt.Sprintf("%s.locations[%d]", where, j))
+		}
+		flows, ok := res["codeFlows"].([]any)
+		if !ok {
+			continue
+		}
+		sawCodeFlow = true
+		for _, f := range flows {
+			tfs := sarifGet[[]any](t, f.(map[string]any), "threadFlows", where+".codeFlow")
+			for _, tf := range tfs {
+				locs := sarifGet[[]any](t, tf.(map[string]any), "locations", where+".threadFlow")
+				if len(locs) == 0 {
+					t.Errorf("%s has an empty threadFlow (schema requires minItems 1)", where)
+				}
+				for k, tl := range locs {
+					lw := fmt.Sprintf("%s.threadFlow[%d]", where, k)
+					loc := sarifGet[map[string]any](t, tl.(map[string]any), "location", lw)
+					checkSARIFLocation(t, loc, lw+".location")
+				}
+			}
+		}
+	}
+	if !sawCodeFlow {
+		t.Error("no result carries a codeFlow; privflow witness paths must be exported")
+	}
+}
+
+func checkSARIFLocation(t *testing.T, loc map[string]any, where string) {
+	t.Helper()
+	phys := sarifGet[map[string]any](t, loc, "physicalLocation", where)
+	art := sarifGet[map[string]any](t, phys, "artifactLocation", where)
+	if uri := sarifGet[string](t, art, "uri", where); uri == "" || strings.Contains(uri, "\\") {
+		t.Errorf("%s uri %q empty or not slash-separated", where, uri)
+	}
+	region := sarifGet[map[string]any](t, phys, "region", where)
+	if line := sarifGet[float64](t, region, "startLine", where); line < 1 {
+		t.Errorf("%s startLine %v < 1 (schema minimum)", where, line)
+	}
+}

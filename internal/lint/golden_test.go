@@ -59,6 +59,9 @@ func TestGolden(t *testing.T) {
 		// diagnostics (used to re-run a fixture under a configuration
 		// where the rule must not apply at all).
 		wantNone bool
+		// audit runs the suppression audit too, so stale-directive
+		// findings join the analyzer's own.
+		audit bool
 	}{
 		{name: "cryptorand", dir: "cryptorandtest",
 			analyzer: Cryptorand([]string{"testdata/src/cryptorandtest"})},
@@ -68,6 +71,13 @@ func TestGolden(t *testing.T) {
 		{name: "lockedfields", dir: "lockedfieldstest", analyzer: LockedFields()},
 		{name: "errdrop", dir: "errdroptest", analyzer: ErrDrop()},
 		{name: "goroutinehygiene", dir: "goroutinetest", analyzer: GoroutineHygiene()},
+		{name: "privflow-direct", dir: "privflow/direct", analyzer: Privflow()},
+		{name: "privflow-interproc", dir: "privflow/interproc", analyzer: Privflow()},
+		{name: "privflow-closure", dir: "privflow/closure", analyzer: Privflow()},
+		{name: "privflow-builtin", dir: "privflow/builtin", analyzer: Privflow()},
+		{name: "privflow-sanitized", dir: "privflow/sanitized",
+			analyzer: Privflow(), wantNone: true},
+		{name: "stale-directive", dir: "staletest", analyzer: ErrDrop(), audit: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -76,10 +86,14 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatalf("loading fixture: %v", err)
 			}
-			if len(pkgs) != 1 {
-				t.Fatalf("fixture loaded %d packages, want 1", len(pkgs))
+			if n := len(nonDep(pkgs)); n != 1 {
+				t.Fatalf("fixture loaded %d target packages, want 1", n)
 			}
-			diags := Run(loader.Fset(), pkgs, []*Analyzer{tc.analyzer})
+			run := Run
+			if tc.audit {
+				run = RunAudited
+			}
+			diags := run(loader.Fset(), pkgs, []*Analyzer{tc.analyzer})
 			if tc.wantNone {
 				for _, d := range diags {
 					t.Errorf("unexpected diagnostic: %s", d)
@@ -91,7 +105,7 @@ func TestGolden(t *testing.T) {
 				t.Fatal("fixture has no want annotations")
 			}
 			for _, d := range diags {
-				if d.Rule != tc.analyzer.Name {
+				if d.Rule != tc.analyzer.Name && !(tc.audit && d.Rule == StaleDirective) {
 					t.Errorf("diagnostic %s carries rule %q, want %q", d, d.Rule, tc.analyzer.Name)
 				}
 				matched := false
@@ -116,6 +130,18 @@ func TestGolden(t *testing.T) {
 			}
 		})
 	}
+}
+
+// nonDep filters out module dependency packages, which the loader now
+// includes for cross-package fact export.
+func nonDep(pkgs []*Package) []*Package {
+	var out []*Package
+	for _, p := range pkgs {
+		if !p.Dep {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func TestByName(t *testing.T) {

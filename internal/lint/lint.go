@@ -36,11 +36,20 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, addressed by position and rule name.
+// Related is one supporting location of a diagnostic — for privflow, one
+// hop of the source→sink witness path.
+type Related struct {
+	Pos  token.Position
+	Note string
+}
+
+// Diagnostic is one finding, addressed by position and rule name. Related
+// carries supporting locations (witness-path hops) in flow order.
 type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	Related []Related
 }
 
 // String renders the canonical "file:line: [rule] message" form.
@@ -48,8 +57,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
 }
 
-// Analyzer is one named checker. Run inspects a single type-checked
-// package and reports findings through the pass.
+// Analyzer is one named checker. Per-package analyzers set Run and inspect
+// one type-checked package at a time; whole-program analyzers set
+// RunProgram instead and see every loaded package at once (including
+// module dependencies loaded for their cross-package facts), which is what
+// an interprocedural rule like privflow needs. Exactly one of Run and
+// RunProgram is non-nil.
 type Analyzer struct {
 	// Name is the rule name used in diagnostics and allow directives.
 	Name string
@@ -57,6 +70,8 @@ type Analyzer struct {
 	Doc string
 	// Run analyzes pass.Pkg.
 	Run func(pass *Pass)
+	// RunProgram analyzes all loaded packages together.
+	RunProgram func(pass *ProgramPass)
 }
 
 // Pass carries one package through one analyzer.
@@ -86,22 +101,45 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Pkg.Info.ObjectOf(id)
 }
 
+// ProgramPass carries the whole loaded program through one whole-program
+// analyzer. Pkgs includes dependency packages of the enclosing module
+// (Package.Dep == true) so that analyzers can consume their declarations,
+// bodies, and //ptm:* facts; findings should be anchored in non-dep
+// packages.
+type ProgramPass struct {
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Report records a finding at pos with an optional witness path.
+func (p *ProgramPass) Report(pos token.Pos, related []Related, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Related: related,
+	})
+}
+
 // directivePrefix introduces a suppression comment.
 const directivePrefix = "ptmlint:allow"
 
 // allowedAt reports whether rule is suppressed for a diagnostic on the
 // given file line: a //ptmlint:allow comment on the same line or the line
-// directly above covers it.
-func (pkg *Package) allowedAt(pos token.Position, rule string) bool {
+// directly above covers it. The second result is the line the matching
+// directive sits on, for the stale-directive audit.
+func (pkg *Package) allowedAt(pos token.Position, rule string) (bool, int) {
 	lines := pkg.allow[pos.Filename]
 	for _, l := range []int{pos.Line, pos.Line - 1} {
 		for _, r := range lines[l] {
 			if r == rule {
-				return true
+				return true, l
 			}
 		}
 	}
-	return false
+	return false, 0
 }
 
 // scanDirectives indexes //ptmlint:allow comments by file and line.
@@ -139,23 +177,73 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][
 	return out
 }
 
+// StaleDirective is the pseudo-rule name under which the directive audit
+// reports //ptmlint:allow comments that no longer suppress anything.
+const StaleDirective = "stale-directive"
+
 // Run applies every analyzer to every package and returns the surviving
-// diagnostics sorted by file, line, and rule.
+// diagnostics sorted by file, line, and rule. Per-package analyzers skip
+// dependency packages (loaded only for their cross-package facts);
+// whole-program analyzers run once over the full package set.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return run(fset, pkgs, analyzers, false)
+}
+
+// RunAudited is Run plus the suppression audit: after the analyzers
+// finish, every //ptmlint:allow directive that (a) names a rule that ran
+// in this invocation but suppressed no finding, or (b) names a rule that
+// does not exist, is itself reported as a stale-directive finding. The
+// escape hatch therefore cannot rot: when the code below a directive is
+// fixed, the directive must be removed in the same change.
+func RunAudited(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return run(fset, pkgs, analyzers, true)
+}
+
+func run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, audit bool) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		if pkg.Dep {
+			continue
+		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Fset: fset, Pkg: pkg, analyzer: a, diags: &diags}
 			a.Run(pass)
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Fset: fset, Pkgs: pkgs, analyzer: a, diags: &diags}
+		a.RunProgram(pass)
+	}
+
+	// used[file][line][rule] marks directives that suppressed a finding.
+	used := make(map[string]map[int]map[string]bool)
 	kept := diags[:0]
 	for _, d := range diags {
 		pkg := byFile(pkgs, d.Pos.Filename)
-		if pkg != nil && pkg.allowedAt(d.Pos, d.Rule) {
-			continue
+		if pkg != nil {
+			if ok, line := pkg.allowedAt(d.Pos, d.Rule); ok {
+				byLine := used[d.Pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					used[d.Pos.Filename] = byLine
+				}
+				if byLine[line] == nil {
+					byLine[line] = make(map[string]bool)
+				}
+				byLine[line][d.Rule] = true
+				continue
+			}
 		}
 		kept = append(kept, d)
+	}
+	if audit {
+		kept = append(kept, auditDirectives(pkgs, analyzers, used)...)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -171,6 +259,50 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		return a.Message < b.Message
 	})
 	return kept
+}
+
+// auditDirectives reports stale //ptmlint:allow directives. A directive is
+// stale for rule r when r ran in this invocation and the directive
+// suppressed none of r's findings, or when r is not a known rule at all
+// (a typo would otherwise silently disable a suppression forever). Rules
+// that exist but were excluded from this invocation (-rules subsets) are
+// not audited: the run cannot tell whether they would fire.
+func auditDirectives(pkgs []*Package, analyzers []*Analyzer, used map[string]map[int]map[string]bool) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Dep {
+			continue
+		}
+		for file, byLine := range pkg.allow {
+			for line, rules := range byLine {
+				for _, r := range rules {
+					switch {
+					case ran[r] && !used[file][line][r]:
+						out = append(out, Diagnostic{
+							Pos:     token.Position{Filename: file, Line: line},
+							Rule:    StaleDirective,
+							Message: fmt.Sprintf("//ptmlint:allow %s no longer suppresses any finding; remove the directive", r),
+						})
+					case !ran[r] && !known[r]:
+						out = append(out, Diagnostic{
+							Pos:     token.Position{Filename: file, Line: line},
+							Rule:    StaleDirective,
+							Message: fmt.Sprintf("//ptmlint:allow names unknown rule %q", r),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 func byFile(pkgs []*Package, filename string) *Package {
@@ -195,6 +327,7 @@ func All() []*Analyzer {
 		LockedFields(),
 		ErrDrop(),
 		GoroutineHygiene(),
+		Privflow(),
 	}
 }
 

@@ -29,6 +29,12 @@ type Package struct {
 	// Types and Info carry go/types results for the package.
 	Types *types.Package
 	Info  *types.Info
+	// Dep marks a package loaded only because a target package depends on
+	// it: its sources are parsed and type-checked so that whole-program
+	// analyzers see its declarations, function bodies, and //ptm:* facts
+	// (cross-package fact export), but per-package rules and the
+	// suppression audit do not run on it.
+	Dep bool
 
 	fileNames []string
 	allow     map[string]map[int][]string
@@ -91,13 +97,19 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, p := range listed {
-		if p.DepOnly || p.Standard || p.Name == "" {
+		if p.Standard || p.Name == "" {
+			continue
+		}
+		// Dependencies from outside the module (there are none today; the
+		// repo is stdlib-only) would arrive as export data only.
+		if p.DepOnly && p.Module == nil {
 			continue
 		}
 		pkg, err := l.check(p, imp)
 		if err != nil {
 			return nil, err
 		}
+		pkg.Dep = p.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -154,6 +166,7 @@ func (l *Loader) check(p listedPackage, imp types.Importer) (*Package, error) {
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: imp}

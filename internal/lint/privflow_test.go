@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrivflowTreeClean is the PR's load-bearing regression test: the
+// shipped tree must contain no un-sanitized flow of private vehicle state
+// into any sink, and no stale suppression directive. Every future change
+// that prints, sends, or encodes vehicle state has to get past this.
+func TestPrivflowTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader := &Loader{Dir: "../.."}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := RunAudited(loader.Fset(), pkgs, All())
+	for _, d := range diags {
+		t.Errorf("shipped tree is not lint-clean: %s", d)
+	}
+}
+
+// TestPrivflowWitnessPath pins down the shape of a finding's witness: an
+// interprocedural leak must carry the full source→sink hop list, in flow
+// order, with a position on every interior hop.
+func TestPrivflowWitnessPath(t *testing.T) {
+	loader := &Loader{}
+	pkgs, err := loader.Load("./testdata/src/privflow/interproc")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(loader.Fset(), pkgs, []*Analyzer{Privflow()})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if len(d.Related) < 4 {
+		t.Fatalf("witness path has %d hops, want at least 4 (source, two summaries, sink): %v", len(d.Related), d.Related)
+	}
+	first, last := d.Related[0], d.Related[len(d.Related)-1]
+	if !strings.HasPrefix(first.Note, "source: ") {
+		t.Errorf("first hop %q does not name the source", first.Note)
+	}
+	if !strings.Contains(first.Pos.Filename, "secret") {
+		t.Errorf("source hop anchored at %s, want the dependency package", first.Pos.Filename)
+	}
+	if !strings.HasPrefix(last.Note, "argument to sink ") {
+		t.Errorf("last hop %q does not name the sink", last.Note)
+	}
+	var sawRelay bool
+	for _, r := range d.Related[1 : len(d.Related)-1] {
+		if r.Pos.Line == 0 || r.Pos.Filename == "" {
+			t.Errorf("interior hop %q has no position", r.Note)
+		}
+		if strings.Contains(r.Note, "relay") {
+			sawRelay = true
+		}
+	}
+	if !sawRelay {
+		t.Errorf("witness path never passes through the relay summary: %v", d.Related)
+	}
+}
+
+// TestPrivflowSanitizerBlocksTaint re-runs the sanitized fixture directly
+// (independent of the golden harness) to assert the negative: the Index
+// reduction really is treated as a declassifier across call summaries.
+func TestPrivflowSanitizerBlocksTaint(t *testing.T) {
+	loader := &Loader{}
+	pkgs, err := loader.Load("./testdata/src/privflow/sanitized")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(loader.Fset(), pkgs, []*Analyzer{Privflow()})
+	for _, d := range diags {
+		t.Errorf("sanitized flow reported as a leak: %s", d)
+	}
+}

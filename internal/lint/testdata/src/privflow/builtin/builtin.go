@@ -1,0 +1,25 @@
+// Package builtin exercises the built-in fact tables with no //ptm:*
+// annotation in this file: vhash.Identity is a source by type and by its
+// private fields, fmt.Println is a sink, and Identity.Hash — unlike
+// Identity.Index — is NOT a sanitizer, so hashes that skip the final
+// modulo reduction still count as leaks.
+package builtin
+
+import (
+	"fmt"
+
+	"ptm/internal/vhash"
+)
+
+// leakIdentity prints the identity value itself.
+func leakIdentity(id *vhash.Identity) {
+	fmt.Println(id) // want `private state .* flows un-sanitized into formatting sink fmt\.Println`
+}
+
+// leakHash prints the full-width hash, which — unlike Index — is private:
+// representative hashes reveal linkable vehicle state.
+func leakHash(id *vhash.Identity, loc vhash.LocationID) {
+	fmt.Println(id.Hash(loc)) // want `private state .* flows un-sanitized into formatting sink fmt\.Println`
+}
+
+var _ = []any{leakIdentity, leakHash}

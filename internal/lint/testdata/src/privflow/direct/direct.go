@@ -1,0 +1,27 @@
+// Package direct exercises privflow's annotated facts at their simplest:
+// a package-level //ptm:source variable reaching an in-package //ptm:sink
+// function and a built-in standard-library formatting sink, one hop each.
+package direct
+
+import "fmt"
+
+// secretKey is this fixture's private state.
+//
+//ptm:source test secret
+var secretKey uint64 = 0x5eed
+
+// transmit models an over-the-air send.
+//
+//ptm:sink test transmission
+func transmit(v uint64) { _ = v }
+
+func leakDirect() {
+	transmit(secretKey) // want `private state \(test secret\) flows un-sanitized into test transmission sink`
+}
+
+func leakFmt() {
+	fmt.Println(secretKey) // want `private state \(test secret\) flows un-sanitized into formatting sink fmt\.Println`
+}
+
+// cover keeps the leaking functions referenced.
+var cover = []func(){leakDirect, leakFmt}

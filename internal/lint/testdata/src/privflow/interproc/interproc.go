@@ -1,0 +1,22 @@
+// Package interproc exercises interprocedural propagation: the source
+// lives in a dependency package (secret.MasterKey), flows out of
+// secret.Reveal's result, through the local relay summary, and into a
+// formatting sink — two function summaries and a package boundary between
+// source and sink, none of them visible to a per-function analysis.
+package interproc
+
+import (
+	"fmt"
+
+	"ptm/internal/lint/testdata/src/privflow/interproc/secret"
+)
+
+// relay is an identity wrapper: taint must flow parameter → result
+// through its summary for the leak below to be seen.
+func relay(x uint64) uint64 { return x }
+
+func leak() {
+	fmt.Println(relay(secret.Reveal())) // want `private state \(interproc master key\) flows un-sanitized into formatting sink fmt\.Println`
+}
+
+var cover = leak

@@ -1,0 +1,14 @@
+// Package secret is the dependency half of the interproc fixture. The
+// target package imports it, so the loader pulls it in as a Dep package
+// and privflow picks up its //ptm:source fact and the body of Reveal —
+// the cross-package fact export under test.
+package secret
+
+// MasterKey is the private state whose taint must survive two function
+// summaries and a package boundary.
+//
+//ptm:source interproc master key
+var MasterKey uint64 = 0xc0ffee
+
+// Reveal returns the raw key: the first hop of the leak.
+func Reveal() uint64 { return MasterKey }

@@ -1,0 +1,28 @@
+// Package sanitized is the negative fixture: private vhash state reaches
+// formatting and transmission sinks, but every path passes through the
+// Identity.Index reduction — the paper's declassifier — so privflow must
+// stay completely silent. Every line here is a false-positive assertion.
+package sanitized
+
+import (
+	"fmt"
+
+	"ptm/internal/lint/testdata/src/privflow/sanitized/wire"
+	"ptm/internal/vhash"
+)
+
+// report prints the sanitized index; the raw identity never escapes.
+func report(id *vhash.Identity, loc vhash.LocationID) {
+	h := id.Index(loc, 1024)
+	fmt.Println(h)
+}
+
+// upload relays the sanitized index through a helper into an annotated
+// transmission sink: sanitization must survive interprocedural hops too.
+func upload(id *vhash.Identity, loc vhash.LocationID) {
+	wire.Transmit(relay(id.Index(loc, 1024)))
+}
+
+func relay(h uint64) uint64 { return h }
+
+var _ = []any{report, upload}

@@ -1,0 +1,9 @@
+// Package wire supplies an annotated transmission sink for the sanitized
+// fixture, declared in a dependency package to prove sink facts export
+// across package boundaries just like source facts.
+package wire
+
+// Transmit models an over-the-air send of an already-sanitized value.
+//
+//ptm:sink wire transmission
+func Transmit(v uint64) { _ = v }

@@ -1,0 +1,32 @@
+// Package staletest is golden-file input for the suppression audit: a
+// //ptmlint:allow directive must still suppress a finding of the named
+// rule on its line, or the directive itself becomes a stale-directive
+// finding. The audit is what keeps the escape hatch honest — suppressions
+// outlive the code they excused unless something checks them.
+package staletest
+
+import (
+	"errors"
+	"os"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+// live keeps a directive that genuinely suppresses an errdrop finding;
+// the audit must stay silent about it.
+func live() {
+	mayFail() //ptmlint:allow errdrop fixture: deliberate drop
+}
+
+// stale carries a directive on a line where errdrop has nothing to say,
+// so the directive no longer earns its keep.
+func stale() string {
+	return os.Getenv("HOME") //ptmlint:allow errdrop nothing drops here // want `//ptmlint:allow errdrop no longer suppresses any finding`
+}
+
+// typo names a rule that does not exist at all.
+func typo() string {
+	return os.Getenv("PATH") //ptmlint:allow nosuchrule misspelled // want `names unknown rule "nosuchrule"`
+}
+
+var _ = []any{live, stale, typo}

@@ -101,6 +101,8 @@ func (s *Sketch) probability(i int) float64 {
 // vhash.Identity.Hash). The low bits choose the component; exactly the
 // consumed bits are discarded, so the bit position within the component
 // is independent of the selection.
+//
+//ptm:sink sketch write
 func (s *Sketch) Add(h uint64) {
 	i := s.component(h)
 	consumed := i + 1 // i trailing ones plus the terminating zero

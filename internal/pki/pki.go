@@ -39,7 +39,7 @@ var (
 // Authority is the trusted third party. It signs RSU certificates; its
 // public key ships pre-installed in every vehicle.
 type Authority struct {
-	key  *ecdsa.PrivateKey
+	key  *ecdsa.PrivateKey //ptm:source authority private key
 	cert *x509.Certificate
 	pool *x509.CertPool
 }
@@ -83,7 +83,7 @@ func (a *Authority) TrustAnchor() *Verifier {
 type Credential struct {
 	Location vhash.LocationID
 	certDER  []byte
-	key      *ecdsa.PrivateKey
+	key      *ecdsa.PrivateKey //ptm:source credential private key
 }
 
 // IssueRSU issues a credential for an RSU at the given location, valid for

@@ -77,6 +77,8 @@ const (
 )
 
 // MarshalBinary serializes the record for upload to the central server.
+//
+//ptm:sink record serialization
 func (r *Record) MarshalBinary() ([]byte, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err

@@ -89,6 +89,8 @@ func (c *Client) roundTrip(t MsgType, payload []byte, wantType MsgType) (result,
 }
 
 // Upload sends one traffic record and waits for the acknowledgment.
+//
+//ptm:sink transport upload
 func (c *Client) Upload(rec *record.Record) error {
 	blob, err := rec.MarshalBinary()
 	if err != nil {

@@ -80,6 +80,8 @@ var (
 
 // WriteFrame writes one frame: 4-byte little-endian payload length, the
 // type byte, then the payload.
+//
+//ptm:sink transport frame
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))

@@ -41,7 +41,7 @@ type MACSource func() (dsrc.MAC, error)
 
 // Vehicle is one on-board unit.
 type Vehicle struct {
-	identity *vhash.Identity
+	identity *vhash.Identity //ptm:source vehicle private state
 	verifier *pki.Verifier
 	clock    Clock
 	macs     MACSource // set at construction, never reassigned

@@ -37,6 +37,8 @@ var ErrInvalidS = errors.New("vhash: s out of range")
 
 // VehicleID identifies a vehicle. In a deployment this is the unique
 // electronic vehicle identity; it never leaves the vehicle.
+//
+//ptm:source vehicle identity
 type VehicleID uint64
 
 // LocationID identifies an RSU location L. The paper folds the location's
@@ -63,10 +65,12 @@ func hashH(x uint64) uint64 {
 // Identity is a vehicle's private encoding state: its ID, private key Kv,
 // and constant array C. The RSU and central server never see any of it;
 // only the final reduced index h_v is transmitted.
+//
+//ptm:source vehicle private state
 type Identity struct {
-	id VehicleID
-	kv uint64
-	c  []uint64
+	id VehicleID //ptm:source plaintext vehicle identity
+	kv uint64    //ptm:source private key Kv
+	c  []uint64  //ptm:source private constant array C
 }
 
 // NewIdentity creates an identity with s representative bits, drawing Kv
@@ -132,7 +136,11 @@ func (v *Identity) Hash(loc LocationID) uint64 {
 
 // Index returns h_v = Hash(loc) mod m, the value the vehicle transmits to
 // the RSU at a location whose current bitmap has m bits. m must be a power
-// of two (enforced by the bitmap package; reduced here by masking).
+// of two (enforced by the bitmap package; reduced here by masking). This is
+// the paper's sole declassifier: the only path by which private vehicle
+// state may reach a public sink.
+//
+//ptm:sanitizer
 func (v *Identity) Index(loc LocationID, m int) uint64 {
 	return v.Hash(loc) & uint64(m-1)
 }

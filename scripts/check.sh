@@ -4,12 +4,16 @@
 # Runs, in order:
 #   1. go build            (everything compiles)
 #   2. go vet              (toolchain static checks)
-#   3. ptmlint             (repo-specific invariants; see DESIGN.md)
+#   3. ptmlint             (repo-specific invariants; see DESIGN.md),
+#                          archiving a SARIF 2.1.0 report for CI surfaces
 #   4. go test -race       (unit + integration tests under the race detector)
 #   5. fuzz smoke          (a few seconds per fuzz target, seeds + mutation)
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target fuzzing budget for the smoke stage (default 5s)
+#
+# The SARIF report lands in $ARTIFACT_DIR/ptmlint.sarif (default:
+# a .artifacts directory at the repo root, git-ignored).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,7 +30,16 @@ step "go vet ./..."
 go vet ./...
 
 step "ptmlint ./..."
-go run ./cmd/ptmlint ./...
+ARTIFACT_DIR="${ARTIFACT_DIR:-.artifacts}"
+mkdir -p "$ARTIFACT_DIR"
+# The SARIF report is written even when findings exist (exit 1), so the
+# artifact documents exactly what failed the gate.
+if ! go run ./cmd/ptmlint -format=sarif ./... > "$ARTIFACT_DIR/ptmlint.sarif"; then
+	status=$?
+	step "ptmlint findings (see $ARTIFACT_DIR/ptmlint.sarif)"
+	go run ./cmd/ptmlint ./... || true
+	exit "$status"
+fi
 
 step "go test -race ./..."
 go test -race ./...
