@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench
+.PHONY: build test lint check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,12 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json records the join-kernel benchmark baseline (fused vs
+# materialized) as BENCH_pr3.json at the repo root. scripts/check.sh
+# archives the committed baseline into $$ARTIFACT_DIR.
+bench-json:
+	$(GO) test -run=NONE \
+		-bench='BenchmarkJoinPoint|BenchmarkJoinPointToPoint|BenchmarkEstimatePoint|BenchmarkAndAll' \
+		-benchmem ./internal/core/ ./internal/bitmap/ \
+		| $(GO) run ./cmd/benchjson > BENCH_pr3.json

@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench -benchmem` text output into
+// a stable JSON document, so benchmark baselines can be committed and
+// diffed across PRs:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Each benchmark line becomes one entry carrying the run count, ns/op,
+// B/op, allocs/op, and any extra custom metrics. Context lines (goos,
+// goarch, pkg, cpu) are attached to the entries that follow them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	BPerOp  float64            `json:"bytes_per_op"`
+	Allocs  float64            `json:"allocs_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the top-level JSON document.
+type Doc struct {
+	GOOS    string  `json:"goos,omitempty"`
+	GOARCH  string  `json:"goarch,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Results []Entry `json:"results"`
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads go-test benchmark output. Unrecognized lines (PASS, ok,
+// test log noise) are skipped; a malformed Benchmark line is an error so
+// silent data loss cannot slip into a committed baseline.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Results: []Entry{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			e, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			e.Pkg = pkg
+			doc.Results = append(doc.Results, *e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName/sub-8   50   2724 ns/op   221 B/op   2 allocs/op
+//
+// The trailing -N on the name is the GOMAXPROCS suffix go test appends;
+// it is kept, so baselines from different -cpu settings stay distinct.
+func parseLine(line string) (*Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad run count in %q: %w", line, err)
+	}
+	e := &Entry{Name: fields[0], Runs: runs}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("odd value/unit pairing in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad metric value in %q: %w", line, err)
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BPerOp = v
+		case "allocs/op":
+			e.Allocs = v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	return e, nil
+}

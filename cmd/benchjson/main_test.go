@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ptm/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkJoinPoint/m=2^14/t=5/materialized-4         	      50	      5240 ns/op	    6384 B/op	       9 allocs/op
+BenchmarkJoinPoint/m=2^14/t=5/fused-4                	      50	      2724 ns/op	     221 B/op	       2 allocs/op
+BenchmarkCustom-4	 1000	 12.5 ns/op	 3.00 widgets/op
+PASS
+ok  	ptm/internal/core	2.881s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" {
+		t.Errorf("context = %q/%q", doc.GOOS, doc.GOARCH)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(doc.Results))
+	}
+	mat := doc.Results[0]
+	if mat.Name != "BenchmarkJoinPoint/m=2^14/t=5/materialized-4" {
+		t.Errorf("name = %q", mat.Name)
+	}
+	if mat.Pkg != "ptm/internal/core" {
+		t.Errorf("pkg = %q", mat.Pkg)
+	}
+	if mat.Runs != 50 || mat.NsPerOp != 5240 || mat.BPerOp != 6384 || mat.Allocs != 9 {
+		t.Errorf("materialized = %+v", mat)
+	}
+	fused := doc.Results[1]
+	if fused.BPerOp != 221 || fused.Allocs != 2 {
+		t.Errorf("fused = %+v", fused)
+	}
+	custom := doc.Results[2]
+	if custom.NsPerOp != 12.5 || custom.Metrics["widgets/op"] != 3 {
+		t.Errorf("custom = %+v", custom)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	doc, err := parse(strings.NewReader("some log line\nPASS\nok \tptm\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Errorf("results = %d, want 0", len(doc.Results))
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX notanumber 5 ns/op\n",
+		"BenchmarkX 10 5 ns/op 3\n", // odd pairing
+		"BenchmarkX 10 bad ns/op\n", // bad metric value
+		"BenchmarkOnlyName\n",       // nothing after the name
+	} {
+		if _, err := parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("parse(%q) should fail", bad)
+		}
+	}
+}

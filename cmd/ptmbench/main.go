@@ -20,8 +20,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"ptm/internal/cli"
 	"ptm/internal/privacy"
@@ -39,15 +42,42 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ptmbench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, all")
-		runs    = fs.Int("runs", 200, "simulation runs per cell (paper: 1000)")
-		scatter = fs.Int("scatter-runs", 1, "measurements per sweep position in scatter figures")
-		seed    = fs.Uint64("seed", 1, "base RNG seed")
-		workers = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		csv     = fs.Bool("csv", false, "emit CSV instead of tables")
+		exp        = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, all")
+		runs       = fs.Int("runs", 200, "simulation runs per cell (paper: 1000)")
+		scatter    = fs.Int("scatter-runs", 1, "measurements per sweep position in scatter figures")
+		seed       = fs.Uint64("seed", 1, "base RNG seed")
+		workers    = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		csv        = fs.Bool("csv", false, "emit CSV instead of tables")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ptmbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated allocation records
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "ptmbench: memprofile:", err)
+			}
+		}()
 	}
 	opts := sim.Options{Runs: *runs, Seed: *seed, Workers: *workers}
 
@@ -56,36 +86,47 @@ func run(args []string, out io.Writer) error {
 		experiments = []string{"table2", "privacy", "fig4", "fig5", "fig6", "table1"}
 	}
 	for _, e := range experiments {
-		switch strings.TrimSpace(e) {
-		case "table1":
-			if err := runTable1(out, opts, *csv); err != nil {
-				return err
+		name := strings.TrimSpace(e)
+		run := func() error {
+			switch name {
+			case "table1":
+				return runTable1(out, opts, *csv)
+			case "table2":
+				return runTable2(out, *csv)
+			case "fig4":
+				return runFig4(out, opts, *csv)
+			case "fig5":
+				return runScatter(out, "Figure 5", 2.0, sim.Options{Runs: *scatter, Seed: *seed, Workers: *workers, F: 2}, *csv)
+			case "fig6":
+				return runScatter(out, "Figure 6", 3.0, sim.Options{Runs: *scatter, Seed: *seed, Workers: *workers, F: 3}, *csv)
+			case "privacy":
+				return runPrivacyEmpirical(out, sim.Options{Runs: max(*runs, 20000), Seed: *seed, Workers: *workers}, *csv)
+			default:
+				return fmt.Errorf("unknown experiment %q", e)
 			}
-		case "table2":
-			if err := runTable2(out, *csv); err != nil {
-				return err
-			}
-		case "fig4":
-			if err := runFig4(out, opts, *csv); err != nil {
-				return err
-			}
-		case "fig5":
-			if err := runScatter(out, "Figure 5", 2.0, sim.Options{Runs: *scatter, Seed: *seed, Workers: *workers, F: 2}, *csv); err != nil {
-				return err
-			}
-		case "fig6":
-			if err := runScatter(out, "Figure 6", 3.0, sim.Options{Runs: *scatter, Seed: *seed, Workers: *workers, F: 3}, *csv); err != nil {
-				return err
-			}
-		case "privacy":
-			if err := runPrivacyEmpirical(out, sim.Options{Runs: max(*runs, 20000), Seed: *seed, Workers: *workers}, *csv); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown experiment %q", e)
+		}
+		if err := timed(name, run); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// timed runs one experiment and reports wall clock and allocation totals
+// on stderr. Table and figure output goes to stdout only, so redirected
+// results files stay byte-identical run to run.
+func timed(name string, fn func() error) error {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	fmt.Fprintf(os.Stderr, "ptmbench: %-8s wall=%-12s allocs=%-12d bytes=%d\n",
+		name, elapsed.Round(time.Millisecond),
+		after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc)
+	return err
 }
 
 func runTable1(out io.Writer, opts sim.Options, csv bool) error {

@@ -1,0 +1,85 @@
+package bitmap
+
+// Benchmarks comparing the materialized join pipeline (ExpandTo + AndAll)
+// against the fused kernels, across the record sizes and period counts of
+// the paper's evaluation. `make bench-json` parses this output into
+// BENCH_pr3.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchOperands builds t records: one at m bits and the rest at m/16
+// (Table I's typical m'/m ratio), each at load factor ~2.
+func benchOperands(m, t int) []*Bitmap {
+	rng := rand.New(rand.NewSource(1))
+	ms := make([]*Bitmap, t)
+	for i := range ms {
+		size := m
+		if i > 0 && m >= 16*64 {
+			size = m / 16
+		}
+		b := MustNew(size)
+		for k := 0; k < size/2; k++ {
+			b.Set(rng.Uint64())
+		}
+		ms[i] = b
+	}
+	return ms
+}
+
+var benchSizes = []int{1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 24}
+
+var onesSink int
+
+func BenchmarkAndAll(b *testing.B) {
+	for _, m := range benchSizes {
+		for _, t := range []int{3, 5, 10} {
+			ms := benchOperands(m, t)
+			name := fmt.Sprintf("m=2^%d/t=%d", log2(m), t)
+			b.Run(name+"/materialized", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := AndAll(ms)
+					if err != nil {
+						b.Fatal(err)
+					}
+					onesSink = out.Ones()
+				}
+			})
+			b.Run(name+"/fused-count", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ones, _, err := AndOnes(ms)
+					if err != nil {
+						b.Fatal(err)
+					}
+					onesSink = ones
+				}
+			})
+			b.Run(name+"/fused-scratch", func(b *testing.B) {
+				b.ReportAllocs()
+				sc := new(JoinScratch)
+				for i := 0; i < b.N; i++ {
+					sc.Reset()
+					_, ones, err := sc.AndAll(ms)
+					if err != nil {
+						b.Fatal(err)
+					}
+					onesSink = ones
+				}
+			})
+		}
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}

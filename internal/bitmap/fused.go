@@ -1,0 +1,339 @@
+// Fused join kernels: AND/OR joins of mixed-size bitmaps without
+// materializing the Section III-A expansions.
+//
+// The replication expansion has a structural consequence the naive
+// ExpandTo pipeline ignores: word i of an l-bit bitmap's expansion to
+// m >= l bits is simply word (i mod l/64) of the original, and because
+// every size is a power of two the mod is a mask. A join of mixed-size
+// operands can therefore stream over the words of the *largest* operand,
+// reading each smaller operand through modular indexing — no expansion
+// buffer exists at any point. The estimators of internal/core consume
+// only the zero/one fractions of joined bitmaps, so the kernels below
+// also fuse the bits.OnesCount64 reduction into the same pass: each
+// output word is computed, counted, and (for the Into variants) stored
+// exactly once.
+//
+// Correctness of the virtual expansion (DESIGN.md §8): for an l-bit
+// bitmap b and any power-of-two m >= l, ExpandTo(m) repeats b's words
+// m/l times, so expansion word i equals b.words[i mod (l/64)]. l/64 is a
+// power of two (New enforces l >= 64 and power-of-two l — the same
+// invariant the pow2size lint rule protects), hence
+//
+//	expanded.words[i] == b.words[i & (len(b.words)-1)].
+//
+// Every kernel below is differentially tested against the materialized
+// ExpandTo/And/Or/Ones pipeline (fused_test.go, FuzzFusedJoin).
+
+package bitmap
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrJoinEmpty is returned by the join kernels for an empty operand list.
+var ErrJoinEmpty = errors.New("bitmap: join of zero bitmaps")
+
+// word returns word i of b's virtual expansion to any size with at least
+// i+1 words. len(b.words) is a power of two, so replication makes the
+// modular index a mask.
+func (b *Bitmap) word(i int) uint64 { return b.words[i&(len(b.words)-1)] }
+
+// MaxSize returns the largest Size among the operands, the common join
+// size m of Section III-A. It returns ErrJoinEmpty for an empty list.
+func MaxSize(ms []*Bitmap) (int, error) {
+	if len(ms) == 0 {
+		return 0, ErrJoinEmpty
+	}
+	m := 0
+	for _, b := range ms {
+		if b.Size() > m {
+			m = b.Size()
+		}
+	}
+	return m, nil
+}
+
+// AndOnes returns the number of one bits in AndAll(ms) — the AND-join of
+// the operands virtually expanded to the largest size m — together with m
+// itself, without allocating anything. This is the fused kernel behind
+// the V1 and V0 fractions of Eqs. (8) and (12).
+func AndOnes(ms []*Bitmap) (ones, m int, err error) {
+	return joinOnes(ms, true)
+}
+
+// OrOnes is AndOnes for the OR join (the second-level join of
+// Section IV-A).
+func OrOnes(ms []*Bitmap) (ones, m int, err error) {
+	return joinOnes(ms, false)
+}
+
+func joinOnes(ms []*Bitmap, and bool) (ones, m int, err error) {
+	m, err = MaxSize(ms)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch len(ms) {
+	case 1:
+		return ms[0].Ones(), m, nil
+	case 2:
+		return joinOnes2(ms[0], ms[1], m/wordBits, and), m, nil
+	}
+	words := m / wordBits
+	first := ms[0]
+	rest := ms[1:]
+	for i := 0; i < words; i++ {
+		w := first.word(i)
+		if and {
+			for _, o := range rest {
+				w &= o.word(i)
+			}
+		} else {
+			for _, o := range rest {
+				w |= o.word(i)
+			}
+		}
+		ones += bits.OnesCount64(w)
+	}
+	return ones, m, nil
+}
+
+// joinOnes2 is the two-operand fast path: every estimator's final
+// E_a ∧ E_b and E* ∨ E′* step lands here.
+func joinOnes2(a, b *Bitmap, words int, and bool) int {
+	ones := 0
+	am, bm := len(a.words)-1, len(b.words)-1
+	if and {
+		for i := 0; i < words; i++ {
+			ones += bits.OnesCount64(a.words[i&am] & b.words[i&bm])
+		}
+	} else {
+		for i := 0; i < words; i++ {
+			ones += bits.OnesCount64(a.words[i&am] | b.words[i&bm])
+		}
+	}
+	return ones
+}
+
+// AndAllInto computes the AND-join of the operands, virtually expanded to
+// dst's size, into dst, and returns the join's popcount from the same
+// pass. dst must be at least as large as every operand (expansion of the
+// join commutes with the join of expansions, so a larger dst holds the
+// join replicated). dst may alias an operand of equal size — each word is
+// read from every operand before it is written — but must not alias a
+// smaller operand (impossible anyway: sizes differ).
+//
+//ptm:sink bitmap write
+func AndAllInto(dst *Bitmap, ms []*Bitmap) (ones int, err error) {
+	return joinInto(dst, ms, true)
+}
+
+// OrAllInto is AndAllInto for the OR join.
+//
+//ptm:sink bitmap write
+func OrAllInto(dst *Bitmap, ms []*Bitmap) (ones int, err error) {
+	return joinInto(dst, ms, false)
+}
+
+// aliases reports whether two bitmaps share backing storage. Bitmaps are
+// never empty (New enforces >= 64 bits), so first-word identity suffices.
+func aliases(a, b *Bitmap) bool { return &a.words[0] == &b.words[0] }
+
+func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
+	m, err := MaxSize(ms)
+	if err != nil {
+		return 0, err
+	}
+	if dst.nbits < m {
+		return 0, fmt.Errorf("%w: dst %d < operand %d", ErrShrink, dst.nbits, m)
+	}
+	// The fast path processes one operand at a time in tight two-address
+	// block loops (replication makes every operand's length divide dst's),
+	// which the compiler turns into straight-line word loops with no
+	// modular indexing. It overwrites dst up front, so an operand aliasing
+	// dst (allowed for equal sizes) falls back to the word-at-a-time loop,
+	// which reads every operand before storing.
+	for _, o := range ms[1:] {
+		if aliases(dst, o) {
+			return joinIntoByWord(dst, ms, and)
+		}
+	}
+	dw := dst.words
+	w0 := ms[0].words
+	if !aliases(dst, ms[0]) || len(dw) != len(w0) {
+		for off := 0; off < len(dw); off += len(w0) {
+			copy(dw[off:off+len(w0)], w0)
+		}
+	}
+	if len(ms) == 1 {
+		for _, w := range dw {
+			ones += bits.OnesCount64(w)
+		}
+		return ones, nil
+	}
+	for _, o := range ms[1 : len(ms)-1] {
+		ow := o.words
+		for off := 0; off < len(dw); off += len(ow) {
+			blk := dw[off : off+len(ow)]
+			if and {
+				for i, w := range ow {
+					blk[i] &= w
+				}
+			} else {
+				for i, w := range ow {
+					blk[i] |= w
+				}
+			}
+		}
+	}
+	// The last operand's pass fuses the popcount, so the join is still a
+	// single store and a single count per output word overall.
+	ow := ms[len(ms)-1].words
+	for off := 0; off < len(dw); off += len(ow) {
+		blk := dw[off : off+len(ow)]
+		if and {
+			for i, w := range ow {
+				v := blk[i] & w
+				blk[i] = v
+				ones += bits.OnesCount64(v)
+			}
+		} else {
+			for i, w := range ow {
+				v := blk[i] | w
+				blk[i] = v
+				ones += bits.OnesCount64(v)
+			}
+		}
+	}
+	return ones, nil
+}
+
+// joinIntoByWord is the aliasing-safe reference loop: each output word is
+// computed from every operand (through the modular index) before it is
+// stored, so dst may alias any equal-size operand.
+func joinIntoByWord(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
+	first := ms[0]
+	rest := ms[1:]
+	for i := range dst.words {
+		w := first.word(i)
+		if and {
+			for _, o := range rest {
+				w &= o.word(i)
+			}
+		} else {
+			for _, o := range rest {
+				w |= o.word(i)
+			}
+		}
+		dst.words[i] = w
+		ones += bits.OnesCount64(w)
+	}
+	return ones, nil
+}
+
+// JoinScratch is a reusable arena for join outputs. A pipeline leases
+// output bitmaps with AndAll/OrAll, consumes them, and calls Reset; the
+// next cycle reuses the same backing storage, so steady-state join
+// pipelines (the ~1000-trial evaluation cells, the daemon's query loop)
+// allocate nothing. Leased bitmaps are valid only until the next Reset.
+//
+// The zero value is ready to use. A nil *JoinScratch is also valid: every
+// lease falls back to a fresh allocation, which lets one code path serve
+// both the scratch-backed hot loop and one-shot callers.
+//
+// A JoinScratch is not safe for concurrent use; give each worker its own.
+type JoinScratch struct {
+	slots []*Bitmap
+	used  int
+}
+
+// Reset invalidates all leased bitmaps and makes their storage available
+// for reuse. Contents are not cleared; every kernel overwrites each word.
+func (s *JoinScratch) Reset() {
+	if s != nil {
+		s.used = 0
+	}
+}
+
+// lease returns an n-bit bitmap backed by the scratch (or freshly
+// allocated for a nil receiver). Its contents are unspecified; callers
+// must overwrite every word before reading.
+func (s *JoinScratch) lease(n int) (*Bitmap, error) {
+	if s == nil {
+		return New(n)
+	}
+	if n < wordBits || n > MaxBits {
+		return nil, fmt.Errorf("%w: %d not in [%d, %d]", ErrSizeOutOfRange, n, wordBits, MaxBits)
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrSizeNotPowerOfTwo, n)
+	}
+	if s.used < len(s.slots) {
+		b := s.slots[s.used]
+		if words := n / wordBits; cap(b.words) < words {
+			b.words = make([]uint64, words)
+		} else {
+			b.words = b.words[:words]
+		}
+		b.nbits = n
+		s.used++
+		return b, nil
+	}
+	b, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	s.slots = append(s.slots, b)
+	s.used++
+	return b, nil
+}
+
+// AndAll AND-joins the operands into a scratch-leased bitmap of the
+// common size m and returns it with its popcount. The result is valid
+// until the next Reset.
+func (s *JoinScratch) AndAll(ms []*Bitmap) (*Bitmap, int, error) {
+	return s.joinAll(ms, true)
+}
+
+// OrAll is AndAll for the OR join.
+func (s *JoinScratch) OrAll(ms []*Bitmap) (*Bitmap, int, error) {
+	return s.joinAll(ms, false)
+}
+
+// AndAllTo is AndAll with an explicit output size n >= the largest
+// operand; the join is produced replicated to n bits (Section III-A
+// expansion of the joined result). JoinPoint uses it to keep E_a and E_b
+// at the common size m even when the largest record fell in the other
+// subset.
+func (s *JoinScratch) AndAllTo(n int, ms []*Bitmap) (*Bitmap, int, error) {
+	return s.joinAllTo(n, ms, true)
+}
+
+// OrAllTo is AndAllTo for the OR join.
+func (s *JoinScratch) OrAllTo(n int, ms []*Bitmap) (*Bitmap, int, error) {
+	return s.joinAllTo(n, ms, false)
+}
+
+func (s *JoinScratch) joinAll(ms []*Bitmap, and bool) (*Bitmap, int, error) {
+	m, err := MaxSize(ms)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.joinAllTo(m, ms, and)
+}
+
+func (s *JoinScratch) joinAllTo(n int, ms []*Bitmap, and bool) (*Bitmap, int, error) {
+	if len(ms) == 0 {
+		return nil, 0, ErrJoinEmpty
+	}
+	dst, err := s.lease(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	ones, err := joinInto(dst, ms, and)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dst, ones, nil
+}

@@ -1,0 +1,370 @@
+package core
+
+// Differential harness for the fused join pipeline: the materialized
+// reference implementations below reproduce the pre-kernel pipelines
+// verbatim (ExpandTo every record, AndAll/OrAll, Clone+And/Or), and every
+// test demands that the fused estimators agree with them bit for bit —
+// not approximately: the virtual-expansion fractions are exactly the
+// materialized fractions, so the float64 results must be identical.
+//
+// The reference is also the "materialized" arm of BenchmarkJoinPoint and
+// BenchmarkJoinPointToPoint.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ptm/internal/bitmap"
+	"ptm/internal/lpc"
+	"ptm/internal/record"
+	"ptm/internal/synth"
+)
+
+// materializedJoinPoint is the original JoinPoint: expand all records to
+// m, AND-join each subset, AND the two joins.
+func materializedJoinPoint(set *record.Set, strategy SplitStrategy) (*PointJoin, error) {
+	if set.Len() < 2 {
+		return nil, ErrTooFewPeriods
+	}
+	bs := set.Bitmaps()
+	m := set.MaxSize()
+	expanded := make([]*bitmap.Bitmap, len(bs))
+	for i, b := range bs {
+		e, err := b.ExpandTo(m)
+		if err != nil {
+			return nil, err
+		}
+		expanded[i] = e
+	}
+	pa, pb := strategy.split(expanded)
+	ea, err := bitmap.AndAll(pa)
+	if err != nil {
+		return nil, err
+	}
+	eb, err := bitmap.AndAll(pb)
+	if err != nil {
+		return nil, err
+	}
+	estar := ea.Clone()
+	if err := estar.And(eb); err != nil {
+		return nil, err
+	}
+	return &PointJoin{M: m, T: set.Len(), Ea: ea, Eb: eb, EStar: estar}, nil
+}
+
+// materializedJoinPointToPoint is the original JoinPointToPoint: AND-join
+// each location, materialize the expansion of the smaller join, OR.
+func materializedJoinPointToPoint(setL, setLPrime *record.Set) (*PointToPointJoin, error) {
+	if setL.Len() < 2 || setLPrime.Len() < 2 {
+		return nil, ErrTooFewPeriods
+	}
+	if err := record.CheckAligned(setL, setLPrime); err != nil {
+		return nil, err
+	}
+	eL, err := bitmap.AndAll(setL.Bitmaps())
+	if err != nil {
+		return nil, err
+	}
+	eLP, err := bitmap.AndAll(setLPrime.Bitmaps())
+	if err != nil {
+		return nil, err
+	}
+	swapped := false
+	if eL.Size() > eLP.Size() {
+		eL, eLP = eLP, eL
+		swapped = true
+	}
+	sStar, err := eL.ExpandTo(eLP.Size())
+	if err != nil {
+		return nil, err
+	}
+	edp := sStar.Clone()
+	if err := edp.Or(eLP); err != nil {
+		return nil, err
+	}
+	return &PointToPointJoin{
+		M: eL.Size(), MPrime: eLP.Size(), T: setL.Len(), Swapped: swapped,
+		EStar: eL, EStarPrime: eLP, EDoublePrime: edp,
+	}, nil
+}
+
+// materializedKWay is the original EstimatePointKWay join: expand all
+// records, AND-join each round-robin group, AND the group joins.
+func materializedKWay(set *record.Set, k int) (m int, v0 []float64, v1 float64, err error) {
+	m = set.MaxSize()
+	groups := make([][]*bitmap.Bitmap, k)
+	for i, b := range set.Bitmaps() {
+		e, err := b.ExpandTo(m)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		groups[i%k] = append(groups[i%k], e)
+	}
+	joins := make([]*bitmap.Bitmap, k)
+	v0 = make([]float64, k)
+	for i, g := range groups {
+		j, err := bitmap.AndAll(g)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		joins[i] = j
+		v0[i] = j.FractionZero()
+	}
+	estar := joins[0].Clone()
+	for _, j := range joins[1:] {
+		if err := estar.And(j); err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	return m, v0, estar.FractionOne(), nil
+}
+
+// diffWorkloads yields point and pair workloads with deliberately mixed
+// record sizes (per-period sizing) as well as the paper's uniform sizing.
+func diffPointSets(t *testing.T, trials int) []*record.Set {
+	t.Helper()
+	var sets []*record.Set
+	for i := 0; i < trials; i++ {
+		g, err := synth.NewGenerator(uint64(100+i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vols, err := g.Volumes(3+i%5, 200, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := g.Point(synth.PointConfig{
+			Loc: 1, Volumes: vols, NCommon: 20 + 10*i,
+			PerPeriodSizing: i%2 == 1, // odd trials: mixed sizes within the set
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, w.Set)
+	}
+	return sets
+}
+
+func requireSameFloat(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: fused %v != materialized %v (not bit-identical)", name, got, want)
+	}
+}
+
+func TestJoinPointMatchesMaterialized(t *testing.T) {
+	sc := new(bitmap.JoinScratch)
+	for _, set := range diffPointSets(t, 8) {
+		for _, strat := range []SplitStrategy{SplitHalves, SplitInterleaved} {
+			want, err := materializedJoinPoint(set, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, scratch := range []*bitmap.JoinScratch{nil, sc} {
+				scratch.Reset()
+				got, err := JoinPointInto(scratch, set, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.M != want.M || got.T != want.T {
+					t.Fatalf("meta: got (%d,%d) want (%d,%d)", got.M, got.T, want.M, want.T)
+				}
+				if !got.Ea.Equal(want.Ea) || !got.Eb.Equal(want.Eb) || !got.EStar.Equal(want.EStar) {
+					t.Fatal("fused JoinPoint bitmaps differ from materialized pipeline")
+				}
+			}
+		}
+	}
+}
+
+func TestEstimatePointMatchesMaterialized(t *testing.T) {
+	for _, set := range diffPointSets(t, 8) {
+		for _, strat := range []SplitStrategy{SplitHalves, SplitInterleaved} {
+			j, err := materializedJoinPoint(set, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantErr := estimateFromPointJoin(j)
+			got, gotErr := EstimatePointOpts(set, strat)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("error mismatch: fused %v, materialized %v", gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			requireSameFloat(t, "Estimate", got.Estimate, want.Estimate)
+			requireSameFloat(t, "Raw", got.Raw, want.Raw)
+			requireSameFloat(t, "Va0", got.Va0, want.Va0)
+			requireSameFloat(t, "Vb0", got.Vb0, want.Vb0)
+			requireSameFloat(t, "V1", got.V1, want.V1)
+			requireSameFloat(t, "Na", got.Na, want.Na)
+			requireSameFloat(t, "Nb", got.Nb, want.Nb)
+			if got.M != want.M || got.T != want.T {
+				t.Fatalf("M/T mismatch: (%d,%d) vs (%d,%d)", got.M, got.T, want.M, want.T)
+			}
+		}
+	}
+}
+
+func TestEstimatePointBaselineMatchesMaterialized(t *testing.T) {
+	for _, set := range diffPointSets(t, 6) {
+		j, err := materializedJoinPoint(set, SplitHalves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v0 := j.EStar.FractionZero()
+		want, wantErr := lpc.Estimate(j.M, v0)
+		got, gotErr := EstimatePointBaseline(set)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: %v vs %v", gotErr, wantErr)
+		}
+		if wantErr == nil {
+			requireSameFloat(t, "baseline", got, want)
+		}
+	}
+}
+
+func TestEstimatePointToPointMatchesMaterialized(t *testing.T) {
+	sc := new(bitmap.JoinScratch)
+	for i := 0; i < 8; i++ {
+		g, err := synth.NewGenerator(uint64(500+i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := 2 + i%4
+		volsA, err := g.Volumes(t0, 200, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		volsB, err := g.Volumes(t0, 2000, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := g.Pair(synth.PairConfig{
+			LocA: 1, LocB: 2, VolumesA: volsA, VolumesB: volsB,
+			NCommon: 50 + 20*i, SameSize: i%3 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := materializedJoinPointToPoint(w.SetA, w.SetB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantErr := estimateFromP2PJoin(j, 3)
+
+		// Fused join must reproduce the materialized join bit for bit.
+		gotJ, err := JoinPointToPointInto(nil, w.SetA, w.SetB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotJ.M != j.M || gotJ.MPrime != j.MPrime || gotJ.Swapped != j.Swapped {
+			t.Fatalf("join meta mismatch: %+v vs %+v", gotJ, j)
+		}
+		if !gotJ.EStar.Equal(j.EStar) || !gotJ.EStarPrime.Equal(j.EStarPrime) || !gotJ.EDoublePrime.Equal(j.EDoublePrime) {
+			t.Fatal("fused JoinPointToPoint bitmaps differ from materialized pipeline")
+		}
+
+		// The fused estimator, with and without a reused scratch.
+		for _, scratch := range []*bitmap.JoinScratch{nil, sc, sc} { // sc twice: reuse across calls
+			got, gotErr := EstimatePointToPointWith(scratch, w.SetA, w.SetB, 3)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("error mismatch: %v vs %v", gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			requireSameFloat(t, "Estimate", got.Estimate, want.Estimate)
+			requireSameFloat(t, "Raw", got.Raw, want.Raw)
+			requireSameFloat(t, "Exact", got.Exact, want.Exact)
+			requireSameFloat(t, "V0", got.V0, want.V0)
+			requireSameFloat(t, "V0Prime", got.V0Prime, want.V0Prime)
+			requireSameFloat(t, "V0DoublePrime", got.V0DoublePrime, want.V0DoublePrime)
+			requireSameFloat(t, "N", got.N, want.N)
+			requireSameFloat(t, "NPrime", got.NPrime, want.NPrime)
+			if got.M != want.M || got.MPrime != want.MPrime || got.Swapped != want.Swapped {
+				t.Fatalf("meta mismatch: %+v vs %+v", got, want)
+			}
+		}
+
+		// Baseline AND variant.
+		sStar, err := j.EStar.ExpandTo(j.MPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		and := sStar.Clone()
+		if err := and.And(j.EStarPrime); err != nil {
+			t.Fatal(err)
+		}
+		wantB, wantBErr := lpc.Estimate(j.MPrime, and.FractionZero())
+		gotB, gotBErr := EstimatePointToPointBaselineAND(w.SetA, w.SetB)
+		if (wantBErr == nil) != (gotBErr == nil) {
+			t.Fatalf("baseline error mismatch: %v vs %v", gotBErr, wantBErr)
+		}
+		if wantBErr == nil {
+			requireSameFloat(t, "baselineAND", gotB, wantB)
+		}
+	}
+}
+
+func TestEstimatePointKWayMatchesMaterialized(t *testing.T) {
+	for _, set := range diffPointSets(t, 6) {
+		for k := 2; k <= set.Len(); k++ {
+			m, v0, v1, err := materializedKWay(set, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			saturated := false
+			for _, v := range v0 {
+				if v == 0 {
+					saturated = true
+				}
+			}
+			got, gotErr := EstimatePointKWay(set, k)
+			if saturated {
+				if gotErr == nil {
+					t.Fatal("fused k-way missed saturation")
+				}
+				continue
+			}
+			if gotErr != nil {
+				t.Fatal(gotErr)
+			}
+			want, err := invertKWay(m, v0, v1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameFloat(t, "kway Estimate", got.Estimate, want)
+			requireSameFloat(t, "kway V1", got.V1, v1)
+			for i := range v0 {
+				requireSameFloat(t, "kway V0", got.V0[i], v0[i])
+			}
+		}
+	}
+}
+
+// TestScratchIndependence: results computed with a heavily reused scratch
+// must not depend on stale contents from earlier, larger joins.
+func TestScratchIndependence(t *testing.T) {
+	sc := new(bitmap.JoinScratch)
+	sets := diffPointSets(t, 6)
+	// Prime the scratch with the largest workload, then re-run the small
+	// ones and compare against fresh computation.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		set := sets[rng.Intn(len(sets))]
+		fresh, freshErr := JoinPointInto(nil, set, SplitHalves)
+		sc.Reset()
+		reused, reusedErr := JoinPointInto(sc, set, SplitHalves)
+		if (freshErr == nil) != (reusedErr == nil) {
+			t.Fatalf("error mismatch: %v vs %v", reusedErr, freshErr)
+		}
+		if freshErr != nil {
+			continue
+		}
+		if !reused.Ea.Equal(fresh.Ea) || !reused.Eb.Equal(fresh.Eb) || !reused.EStar.Equal(fresh.EStar) {
+			t.Fatal("scratch-backed join contaminated by stale contents")
+		}
+	}
+}

@@ -84,33 +84,36 @@ type PointJoin struct {
 	EStar  *bitmap.Bitmap // Ea AND Eb
 }
 
-// JoinPoint expands the set's bitmaps to the common size and performs the
-// two-subset AND join. It requires at least two periods.
+// JoinPoint performs the two-subset AND join at the common size m. It
+// requires at least two periods. The records are never materialized at
+// size m: the fused kernels of internal/bitmap stream the join through
+// the replication structure directly (virtual expansion, DESIGN.md §8),
+// so only the three outputs are allocated.
 func JoinPoint(set *record.Set, strategy SplitStrategy) (*PointJoin, error) {
+	return JoinPointInto(nil, set, strategy)
+}
+
+// JoinPointInto is JoinPoint with the outputs leased from sc, so a
+// steady-state loop that calls sc.Reset between queries allocates
+// nothing. A nil sc allocates fresh outputs. The returned bitmaps are
+// valid until the next sc.Reset.
+func JoinPointInto(sc *bitmap.JoinScratch, set *record.Set, strategy SplitStrategy) (*PointJoin, error) {
 	if set.Len() < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrTooFewPeriods, set.Len())
 	}
 	bs := set.Bitmaps()
 	m := set.MaxSize()
-	expanded := make([]*bitmap.Bitmap, len(bs))
-	for i, b := range bs {
-		e, err := b.ExpandTo(m)
-		if err != nil {
-			return nil, fmt.Errorf("core: expanding record %d: %w", i, err)
-		}
-		expanded[i] = e
-	}
-	pa, pb := strategy.split(expanded)
-	ea, err := bitmap.AndAll(pa)
+	pa, pb := strategy.split(bs)
+	ea, _, err := sc.AndAllTo(m, pa)
 	if err != nil {
 		return nil, fmt.Errorf("core: joining Π_a: %w", err)
 	}
-	eb, err := bitmap.AndAll(pb)
+	eb, _, err := sc.AndAllTo(m, pb)
 	if err != nil {
 		return nil, fmt.Errorf("core: joining Π_b: %w", err)
 	}
-	estar := ea.Clone()
-	if err := estar.And(eb); err != nil {
+	estar, _, err := sc.AndAll([]*bitmap.Bitmap{ea, eb})
+	if err != nil {
 		return nil, fmt.Errorf("core: joining E*: %w", err)
 	}
 	return &PointJoin{M: m, T: set.Len(), Ea: ea, Eb: eb, EStar: estar}, nil
@@ -126,23 +129,30 @@ type PointToPointJoin struct {
 	EDoublePrime *bitmap.Bitmap // OR of (EStar expanded to MPrime) and EStarPrime
 }
 
-// JoinPointToPoint performs the first-level AND joins at each location,
-// expands the smaller result to the larger size, and OR-joins them
-// (Section IV-A). The sets must cover identical period lists. If the
-// first set's joined size exceeds the second's, the roles are swapped
-// (the common-vehicle count is symmetric); Swapped records that.
+// JoinPointToPoint performs the first-level AND joins at each location
+// and the second-level OR join (Section IV-A), expanding the smaller
+// first-level result virtually rather than materializing it. The sets
+// must cover identical period lists. If the first set's joined size
+// exceeds the second's, the roles are swapped (the common-vehicle count
+// is symmetric); Swapped records that.
 func JoinPointToPoint(setL, setLPrime *record.Set) (*PointToPointJoin, error) {
+	return JoinPointToPointInto(nil, setL, setLPrime)
+}
+
+// JoinPointToPointInto is JoinPointToPoint with outputs leased from sc;
+// see JoinPointInto for the scratch discipline.
+func JoinPointToPointInto(sc *bitmap.JoinScratch, setL, setLPrime *record.Set) (*PointToPointJoin, error) {
 	if setL.Len() < 2 || setLPrime.Len() < 2 {
 		return nil, fmt.Errorf("%w: got %d and %d", ErrTooFewPeriods, setL.Len(), setLPrime.Len())
 	}
 	if err := record.CheckAligned(setL, setLPrime); err != nil {
 		return nil, err
 	}
-	eL, err := bitmap.AndAll(setL.Bitmaps())
+	eL, _, err := sc.AndAll(setL.Bitmaps())
 	if err != nil {
 		return nil, fmt.Errorf("core: joining records at L: %w", err)
 	}
-	eLP, err := bitmap.AndAll(setLPrime.Bitmaps())
+	eLP, _, err := sc.AndAll(setLPrime.Bitmaps())
 	if err != nil {
 		return nil, fmt.Errorf("core: joining records at L': %w", err)
 	}
@@ -151,12 +161,8 @@ func JoinPointToPoint(setL, setLPrime *record.Set) (*PointToPointJoin, error) {
 		eL, eLP = eLP, eL
 		swapped = true
 	}
-	sStar, err := eL.ExpandTo(eLP.Size())
+	edp, _, err := sc.OrAll([]*bitmap.Bitmap{eL, eLP})
 	if err != nil {
-		return nil, fmt.Errorf("core: second-level expansion: %w", err)
-	}
-	edp := sStar.Clone()
-	if err := edp.Or(eLP); err != nil {
 		return nil, fmt.Errorf("core: second-level OR join: %w", err)
 	}
 	return &PointToPointJoin{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ptm/internal/bitmap"
 	"ptm/internal/lpc"
 	"ptm/internal/record"
 )
@@ -37,20 +38,62 @@ type PointToPointResult struct {
 // (Section II-D); the estimate is meaningful only if it matches the s the
 // vehicles actually used.
 func EstimatePointToPoint(setL, setLPrime *record.Set, s int) (*PointToPointResult, error) {
-	j, err := JoinPointToPoint(setL, setLPrime)
-	if err != nil {
+	return EstimatePointToPointWith(nil, setL, setLPrime, s)
+}
+
+// EstimatePointToPointWith is EstimatePointToPoint with the two
+// first-level joins E* and E′* held in sc, which is Reset on entry — a
+// worker that owns one scratch and queries in a loop performs the whole
+// two-level pipeline without allocating bitmap storage. The second-level
+// join E″* is never materialized at all: its zero count comes from a
+// fused OR+popcount over E* (virtually expanded) and E′*. A nil sc
+// allocates the two first-level joins fresh.
+func EstimatePointToPointWith(sc *bitmap.JoinScratch, setL, setLPrime *record.Set, s int) (*PointToPointResult, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadS, s)
+	}
+	sc.Reset()
+	if setL.Len() < 2 || setLPrime.Len() < 2 {
+		return nil, fmt.Errorf("%w: got %d and %d", ErrTooFewPeriods, setL.Len(), setLPrime.Len())
+	}
+	if err := record.CheckAligned(setL, setLPrime); err != nil {
 		return nil, err
 	}
-	return estimateFromP2PJoin(j, s)
+	eL, onesL, err := sc.AndAll(setL.Bitmaps())
+	if err != nil {
+		return nil, fmt.Errorf("core: joining records at L: %w", err)
+	}
+	eLP, onesLP, err := sc.AndAll(setLPrime.Bitmaps())
+	if err != nil {
+		return nil, fmt.Errorf("core: joining records at L': %w", err)
+	}
+	swapped := false
+	if eL.Size() > eLP.Size() {
+		eL, eLP = eLP, eL
+		onesL, onesLP = onesLP, onesL
+		swapped = true
+	}
+	onesDP, mPrime, err := bitmap.OrOnes([]*bitmap.Bitmap{eL, eLP})
+	if err != nil {
+		return nil, fmt.Errorf("core: second-level OR join: %w", err)
+	}
+	m := eL.Size()
+	v0 := float64(m-onesL) / float64(m)
+	v0p := float64(mPrime-onesLP) / float64(mPrime)
+	v0dp := float64(mPrime-onesDP) / float64(mPrime)
+	return p2pResultFromFractions(m, mPrime, s, setL.Len(), swapped, v0, v0p, v0dp)
 }
 
 func estimateFromP2PJoin(j *PointToPointJoin, s int) (*PointToPointResult, error) {
 	if s < 1 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadS, s)
 	}
-	v0 := j.EStar.FractionZero()
-	v0p := j.EStarPrime.FractionZero()
-	v0dp := j.EDoublePrime.FractionZero()
+	return p2pResultFromFractions(j.M, j.MPrime, s, j.T, j.Swapped,
+		j.EStar.FractionZero(), j.EStarPrime.FractionZero(), j.EDoublePrime.FractionZero())
+}
+
+// p2pResultFromFractions inverts Eq. (21) from the measured fractions.
+func p2pResultFromFractions(m, mPrime, s, t int, swapped bool, v0, v0p, v0dp float64) (*PointToPointResult, error) {
 	if v0 == 0 || v0p == 0 {
 		return nil, fmt.Errorf("%w: V0=%v V0'=%v", ErrSaturated, v0, v0p)
 	}
@@ -59,16 +102,16 @@ func estimateFromP2PJoin(j *PointToPointJoin, s int) (*PointToPointResult, error
 	}
 	// Eq. (21): n̂″ = s·m′·(ln V″0 − ln V*0 − ln V′0).
 	diff := math.Log(v0dp) - math.Log(v0) - math.Log(v0p)
-	mp := float64(j.MPrime)
+	mp := float64(mPrime)
 	raw := float64(s) * mp * diff
 	// Exact inversion of Eq. (19): n″ = diff / ln(1 + 1/(s·m′ − s)).
 	exact := diff / math.Log1p(1/(float64(s)*mp-float64(s)))
 
-	n, err := lpc.Estimate(j.M, v0)
+	n, err := lpc.Estimate(m, v0)
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating n: %w", err)
 	}
-	np, err := lpc.Estimate(j.MPrime, v0p)
+	np, err := lpc.Estimate(mPrime, v0p)
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating n': %w", err)
 	}
@@ -76,11 +119,11 @@ func estimateFromP2PJoin(j *PointToPointJoin, s int) (*PointToPointResult, error
 		Estimate:      math.Max(0, raw),
 		Raw:           raw,
 		Exact:         exact,
-		M:             j.M,
-		MPrime:        j.MPrime,
+		M:             m,
+		MPrime:        mPrime,
 		S:             s,
-		T:             j.T,
-		Swapped:       j.Swapped,
+		T:             t,
+		Swapped:       swapped,
 		V0:            v0,
 		V0Prime:       v0p,
 		V0DoublePrime: v0dp,
@@ -96,21 +139,24 @@ func estimateFromP2PJoin(j *PointToPointJoin, s int) (*PointToPointResult, error
 // differing per representative choice), the AND destroys most of the
 // common-vehicle signal; the ablation bench quantifies the failure.
 func EstimatePointToPointBaselineAND(setL, setLPrime *record.Set) (float64, error) {
-	j, err := JoinPointToPoint(setL, setLPrime)
+	return EstimatePointToPointBaselineANDWith(nil, setL, setLPrime)
+}
+
+// EstimatePointToPointBaselineANDWith is the baseline with scratch-held
+// first-level joins; sc is Reset on entry. A nil sc allocates fresh.
+func EstimatePointToPointBaselineANDWith(sc *bitmap.JoinScratch, setL, setLPrime *record.Set) (float64, error) {
+	sc.Reset()
+	j, err := JoinPointToPointInto(sc, setL, setLPrime)
 	if err != nil {
 		return 0, err
 	}
-	sStar, err := j.EStar.ExpandTo(j.MPrime)
+	ones, mPrime, err := bitmap.AndOnes([]*bitmap.Bitmap{j.EStar, j.EStarPrime})
 	if err != nil {
 		return 0, err
 	}
-	and := sStar.Clone()
-	if err := and.And(j.EStarPrime); err != nil {
-		return 0, err
-	}
-	v0 := and.FractionZero()
+	v0 := float64(mPrime-ones) / float64(mPrime)
 	if v0 == 0 {
 		return 0, fmt.Errorf("%w: AND join has no zero bits", ErrSaturated)
 	}
-	return lpc.Estimate(j.MPrime, v0)
+	return lpc.Estimate(mPrime, v0)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ptm/internal/bitmap"
 	"ptm/internal/lpc"
 	"ptm/internal/record"
 )
@@ -35,18 +36,46 @@ func EstimatePoint(set *record.Set) (*PointResult, error) {
 }
 
 // EstimatePointOpts is EstimatePoint with an explicit split strategy.
+//
+// The estimator consumes only the three bit fractions of Eq. (12), so no
+// joined bitmap is ever materialized: Va0 and Vb0 come from fused
+// AND+popcount kernels over each subset, and V1 from the same kernel over
+// all t records (E* = E_a ∧ E_b is the AND of every record, by
+// associativity). A subset join's zero fraction is invariant under the
+// replication expansion, so counting at the subset's own largest size
+// yields bit-for-bit the same fraction the materialized pipeline measured
+// at m (DESIGN.md §8).
 func EstimatePointOpts(set *record.Set, strategy SplitStrategy) (*PointResult, error) {
-	j, err := JoinPoint(set, strategy)
-	if err != nil {
-		return nil, err
+	if set.Len() < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrTooFewPeriods, set.Len())
 	}
-	return estimateFromPointJoin(j)
+	bs := set.Bitmaps()
+	m := set.MaxSize()
+	pa, pb := strategy.split(bs)
+	onesA, mA, err := bitmap.AndOnes(pa)
+	if err != nil {
+		return nil, fmt.Errorf("core: joining Π_a: %w", err)
+	}
+	onesB, mB, err := bitmap.AndOnes(pb)
+	if err != nil {
+		return nil, fmt.Errorf("core: joining Π_b: %w", err)
+	}
+	onesStar, _, err := bitmap.AndOnes(bs)
+	if err != nil {
+		return nil, fmt.Errorf("core: joining E*: %w", err)
+	}
+	va0 := float64(mA-onesA) / float64(mA)
+	vb0 := float64(mB-onesB) / float64(mB)
+	v1 := float64(onesStar) / float64(m)
+	return pointResultFromFractions(m, set.Len(), va0, vb0, v1)
 }
 
 func estimateFromPointJoin(j *PointJoin) (*PointResult, error) {
-	va0 := j.Ea.FractionZero()
-	vb0 := j.Eb.FractionZero()
-	v1 := j.EStar.FractionOne()
+	return pointResultFromFractions(j.M, j.T, j.Ea.FractionZero(), j.Eb.FractionZero(), j.EStar.FractionOne())
+}
+
+// pointResultFromFractions inverts Eq. (12) from the measured fractions.
+func pointResultFromFractions(m, t int, va0, vb0, v1 float64) (*PointResult, error) {
 	if va0 == 0 || vb0 == 0 {
 		return nil, fmt.Errorf("%w: Va0=%v Vb0=%v", ErrSaturated, va0, vb0)
 	}
@@ -55,22 +84,22 @@ func estimateFromPointJoin(j *PointJoin) (*PointResult, error) {
 	if arg <= 0 {
 		return nil, fmt.Errorf("%w: V1+Va0+Vb0-1 = %v", ErrDegenerate, arg)
 	}
-	logq := math.Log1p(-1 / float64(j.M))
+	logq := math.Log1p(-1 / float64(m))
 	raw := (math.Log(va0) + math.Log(vb0) - math.Log(arg)) / logq
 
-	na, err := lpc.Estimate(j.M, va0)
+	na, err := lpc.Estimate(m, va0)
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating n_a: %w", err)
 	}
-	nb, err := lpc.Estimate(j.M, vb0)
+	nb, err := lpc.Estimate(m, vb0)
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating n_b: %w", err)
 	}
 	return &PointResult{
 		Estimate: math.Max(0, raw),
 		Raw:      raw,
-		M:        j.M,
-		T:        j.T,
+		M:        m,
+		T:        t,
 		Va0:      va0,
 		Vb0:      vb0,
 		V1:       v1,
@@ -82,20 +111,22 @@ func estimateFromPointJoin(j *PointJoin) (*PointResult, error) {
 // EstimatePointBaseline is the benchmark method of Section VI-B: apply
 // plain linear probabilistic counting (Eq. 1) directly to E*, the AND of
 // all t records. It systematically over-counts because transient-vehicle
-// collisions also leave ones in E*; Fig. 4 quantifies the gap.
+// collisions also leave ones in E*; Fig. 4 quantifies the gap. Like
+// EstimatePointOpts, it is a single fused count — E* never exists in
+// memory.
 func EstimatePointBaseline(set *record.Set) (float64, error) {
 	if set.Len() < 2 {
 		return 0, fmt.Errorf("%w: got %d", ErrTooFewPeriods, set.Len())
 	}
-	j, err := JoinPoint(set, SplitHalves)
+	ones, m, err := bitmap.AndOnes(set.Bitmaps())
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("core: joining E*: %w", err)
 	}
-	v0 := j.EStar.FractionZero()
+	v0 := float64(m-ones) / float64(m)
 	if v0 == 0 {
 		return 0, fmt.Errorf("%w: E* has no zero bits", ErrSaturated)
 	}
-	return lpc.Estimate(j.M, v0)
+	return lpc.Estimate(m, v0)
 }
 
 // EstimateVolume estimates a single record's plain traffic volume with

@@ -37,6 +37,12 @@ type KWayResult struct {
 // EstimatePointKWay generalizes the point persistent estimator to k
 // subsets. k must be in [2, t]; records are assigned to subsets round-robin
 // in period order, so subset sizes differ by at most one.
+//
+// Like the two-way estimator, only fractions are consumed, so each
+// subset's V0 comes from a fused AND+popcount kernel at the subset's own
+// largest size (the fraction is invariant under replication expansion)
+// and V1 from the same kernel over all t records — no expansion or join
+// is ever materialized.
 func EstimatePointKWay(set *record.Set, k int) (*KWayResult, error) {
 	if set.Len() < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrTooFewPeriods, set.Len())
@@ -44,35 +50,28 @@ func EstimatePointKWay(set *record.Set, k int) (*KWayResult, error) {
 	if k < 2 || k > set.Len() {
 		return nil, fmt.Errorf("core: k must be in [2, t=%d], got %d", set.Len(), k)
 	}
+	bs := set.Bitmaps()
 	m := set.MaxSize()
 	groups := make([][]*bitmap.Bitmap, k)
-	for i, b := range set.Bitmaps() {
-		e, err := b.ExpandTo(m)
-		if err != nil {
-			return nil, fmt.Errorf("core: expanding record %d: %w", i, err)
-		}
-		groups[i%k] = append(groups[i%k], e)
+	for i, b := range bs {
+		groups[i%k] = append(groups[i%k], b)
 	}
-	joins := make([]*bitmap.Bitmap, k)
 	v0 := make([]float64, k)
 	for i, g := range groups {
-		j, err := bitmap.AndAll(g)
+		ones, mg, err := bitmap.AndOnes(g)
 		if err != nil {
 			return nil, fmt.Errorf("core: joining subset %d: %w", i, err)
 		}
-		joins[i] = j
-		v0[i] = j.FractionZero()
+		v0[i] = float64(mg-ones) / float64(mg)
 		if v0[i] == 0 {
 			return nil, fmt.Errorf("%w: subset %d", ErrSaturated, i)
 		}
 	}
-	estar := joins[0].Clone()
-	for _, j := range joins[1:] {
-		if err := estar.And(j); err != nil {
-			return nil, err
-		}
+	onesStar, _, err := bitmap.AndOnes(bs)
+	if err != nil {
+		return nil, fmt.Errorf("core: joining E*: %w", err)
 	}
-	v1 := estar.FractionOne()
+	v1 := float64(onesStar) / float64(m)
 
 	nstar, err := invertKWay(m, v0, v1)
 	if err != nil {

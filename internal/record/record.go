@@ -131,6 +131,7 @@ func Unmarshal(data []byte) (*Record, error) {
 type Set struct {
 	loc  vhash.LocationID
 	recs []*Record
+	bms  []*bitmap.Bitmap // recs' bitmaps in period order, built once
 }
 
 // NewSet validates and assembles a record set. All records must share one
@@ -159,7 +160,11 @@ func NewSet(recs []*Record) (*Set, error) {
 		}
 		seen[r.Period] = true
 	}
-	return &Set{loc: loc, recs: sorted}, nil
+	bms := make([]*bitmap.Bitmap, len(sorted))
+	for i, r := range sorted {
+		bms[i] = r.Bitmap
+	}
+	return &Set{loc: loc, recs: sorted, bms: bms}, nil
 }
 
 // Location returns the common location of the set.
@@ -177,15 +182,11 @@ func (s *Set) Periods() []PeriodID {
 	return out
 }
 
-// Bitmaps returns the records' bitmaps in period order. The slice is fresh
-// but the bitmaps are shared; join pipelines must not mutate them in place.
-func (s *Set) Bitmaps() []*bitmap.Bitmap {
-	out := make([]*bitmap.Bitmap, len(s.recs))
-	for i, r := range s.recs {
-		out[i] = r.Bitmap
-	}
-	return out
-}
+// Bitmaps returns the records' bitmaps in period order. The slice is the
+// set's own (built once at construction so the estimator hot loops stay
+// allocation-free); callers must treat both the slice and the bitmaps as
+// read-only.
+func (s *Set) Bitmaps() []*bitmap.Bitmap { return s.bms }
 
 // MaxSize returns m, the largest bitmap size in the set (Section III).
 func (s *Set) MaxSize() int {
@@ -205,10 +206,9 @@ func CheckAligned(a, b *Set) error {
 	if a.Len() != b.Len() {
 		return fmt.Errorf("%w: %d vs %d periods", ErrPeriodSkew, a.Len(), b.Len())
 	}
-	pa, pb := a.Periods(), b.Periods()
-	for i := range pa {
-		if pa[i] != pb[i] {
-			return fmt.Errorf("%w: period %d vs %d at index %d", ErrPeriodSkew, pa[i], pb[i], i)
+	for i := range a.recs {
+		if pa, pb := a.recs[i].Period, b.recs[i].Period; pa != pb {
+			return fmt.Errorf("%w: period %d vs %d at index %d", ErrPeriodSkew, pa, pb, i)
 		}
 	}
 	return nil

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"testing"
 
-	"ptm/internal/bitmap"
 	"ptm/internal/vhash"
 )
 
@@ -180,10 +179,9 @@ func TestBitmapsShareUnderlying(t *testing.T) {
 	if !r.Bitmap.Get(3) {
 		t.Error("Bitmaps should expose the records' bitmaps, not copies")
 	}
-	// But the slice itself is fresh.
-	bs := s.Bitmaps()
-	bs[0] = bitmap.MustNew(64)
-	if s.Bitmaps()[0] == bs[0] {
-		t.Error("Bitmaps slice must be a fresh copy")
+	// The slice itself is the set's own, built once: repeated calls must
+	// not allocate (the estimator hot loops depend on this).
+	if allocs := testing.AllocsPerRun(100, func() { _ = s.Bitmaps() }); allocs != 0 {
+		t.Errorf("Bitmaps allocates %.0f per call, want 0", allocs)
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"ptm/internal/bitmap"
 	"ptm/internal/core"
 	"ptm/internal/stats"
 	"ptm/internal/synth"
@@ -69,7 +70,9 @@ func RunFig4(t int, opts Options) ([]Fig4Point, error) {
 		prop := make([]float64, opts.Runs)
 		bench := make([]float64, opts.Runs)
 		cell := uint64(t)<<40 | uint64(fi)<<16
-		runErr := parallelFor(opts.Runs, opts.Workers, func(run int) error {
+		// The point estimators are pure fused counts (no join output is
+		// materialized), so the per-worker scratch is not needed here.
+		runErr := parallelFor(opts.Runs, opts.Workers, func(run int, _ *bitmap.JoinScratch) error {
 			g, err := synth.NewGenerator(trialSeed(opts.Seed, cell, uint64(run)), opts.S)
 			if err != nil {
 				return err
@@ -138,7 +141,7 @@ func RunFigScatterPoint(t int, opts Options) ([]ScatterPoint, error) {
 	}
 	fracs := sweepFracs()
 	points := make([]ScatterPoint, len(fracs)*opts.Runs)
-	runErr := parallelFor(len(points), opts.Workers, func(i int) error {
+	runErr := parallelFor(len(points), opts.Workers, func(i int, _ *bitmap.JoinScratch) error {
 		fi, run := i%len(fracs), i/len(fracs)
 		nStar := int(fracs[fi] * float64(nMin))
 		if nStar < 1 {
@@ -199,7 +202,7 @@ func RunFigScatterP2P(t int, opts Options) ([]ScatterPoint, error) {
 	}
 	fracs := sweepFracs()
 	points := make([]ScatterPoint, len(fracs)*opts.Runs)
-	runErr := parallelFor(len(points), opts.Workers, func(i int) error {
+	runErr := parallelFor(len(points), opts.Workers, func(i int, sc *bitmap.JoinScratch) error {
 		fi, run := i%len(fracs), i/len(fracs)
 		nCommon := int(fracs[fi] * float64(nMin))
 		if nCommon < 1 {
@@ -217,7 +220,7 @@ func RunFigScatterP2P(t int, opts Options) ([]ScatterPoint, error) {
 		if err != nil {
 			return err
 		}
-		res, err := core.EstimatePointToPoint(w.SetA, w.SetB, opts.S)
+		res, err := core.EstimatePointToPointWith(sc, w.SetA, w.SetB, opts.S)
 		if err != nil {
 			return fmt.Errorf("sim: scatter p2p frac=%.2f: %w", fracs[fi], err)
 		}

@@ -47,7 +47,7 @@ func RunPrivacyEmpirical(nPrime int, mPrime int, opts Options) (*PrivacyEmpirica
 	// Split trials across workers; each worker owns a disjoint seed range.
 	type out struct{ noise, hit int }
 	results := make([]out, trials)
-	err := parallelFor(trials, opts.Workers, func(i int) error {
+	err := parallelFor(trials, opts.Workers, func(i int, _ *bitmap.JoinScratch) error {
 		seed := trialSeed(opts.Seed, 0x9e37, uint64(i))
 		rng := rand.New(rand.NewSource(int64(seed)))
 		v, err := vhash.NewSeededIdentity(vhash.VehicleID(i), opts.S, seed)

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ptm/internal/bitmap"
 	"ptm/internal/stats"
 	"ptm/internal/synth"
 )
@@ -68,8 +69,15 @@ func trialSeed(seed, cell, run uint64) uint64 {
 }
 
 // parallelFor runs fn(0..n-1) on up to workers goroutines and returns the
-// first error encountered (all work is drained either way).
-func parallelFor(n, workers int, fn func(i int) error) error {
+// first error encountered. Dispatch stops as soon as any job fails, so a
+// failing 1000-run cell aborts after at most a handful of trials instead
+// of grinding through the rest.
+//
+// Each worker goroutine owns one bitmap.JoinScratch, passed to every job
+// it runs: the estimator join pipelines lease their output buffers from
+// it, so across the hundreds of trials of an evaluation cell the joined
+// bitmaps are allocated once per worker rather than once per trial.
+func parallelFor(n, workers int, fn func(i int, sc *bitmap.JoinScratch) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -82,23 +90,40 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		firstErr error
 	)
 	jobs := make(chan int)
+	done := make(chan struct{})
+	var failOnce sync.Once
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		failOnce.Do(func() { close(done) })
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := new(bitmap.JoinScratch)
 			for i := range jobs {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+				select {
+				case <-done:
+					continue // cell already failed; drain without running
+				default:
+				}
+				if err := fn(i, sc); err != nil {
+					fail(err)
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -125,8 +150,9 @@ func repeatVolumes(v float64, t int) []int {
 }
 
 // trialPair runs one point-to-point trial and returns the relative error
-// of the proposed estimator.
-func trialPair(seed uint64, s int, f float64, volA, volB []int, nCommon int, sameSize bool) (float64, error) {
+// of the proposed estimator. sc holds the trial's join outputs; a worker
+// passes the same scratch to every trial it runs.
+func trialPair(seed uint64, s int, f float64, volA, volB []int, nCommon int, sameSize bool, sc *bitmap.JoinScratch) (float64, error) {
 	g, err := synth.NewGenerator(seed, s)
 	if err != nil {
 		return 0, err
@@ -141,7 +167,7 @@ func trialPair(seed uint64, s int, f float64, volA, volB []int, nCommon int, sam
 	if err != nil {
 		return 0, err
 	}
-	res, err := estimatePair(w, s)
+	res, err := estimatePair(w, s, sc)
 	if err != nil {
 		return 0, err
 	}

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 
+	"ptm/internal/bitmap"
 	"ptm/internal/trips"
 )
 
@@ -24,7 +26,10 @@ func TestOptionsValidate(t *testing.T) {
 func TestParallelForCoversAll(t *testing.T) {
 	const n = 100
 	var hits [n]int32
-	err := parallelFor(n, 7, func(i int) error {
+	err := parallelFor(n, 7, func(i int, sc *bitmap.JoinScratch) error {
+		if sc == nil {
+			return errors.New("nil worker scratch")
+		}
 		atomic.AddInt32(&hits[i], 1)
 		return nil
 	})
@@ -40,7 +45,7 @@ func TestParallelForCoversAll(t *testing.T) {
 
 func TestParallelForPropagatesError(t *testing.T) {
 	sentinel := errors.New("boom")
-	err := parallelFor(10, 3, func(i int) error {
+	err := parallelFor(10, 3, func(i int, _ *bitmap.JoinScratch) error {
 		if i == 4 {
 			return sentinel
 		}
@@ -51,12 +56,61 @@ func TestParallelForPropagatesError(t *testing.T) {
 	}
 }
 
+// TestParallelForStopsEarly: once a job fails, the dispatcher must stop
+// feeding work, so a failing 1000-run cell aborts after at most a few
+// in-flight trials instead of running all of them.
+func TestParallelForStopsEarly(t *testing.T) {
+	const n = 1 << 20
+	const workers = 8
+	sentinel := errors.New("boom")
+	var calls int64
+	err := parallelFor(n, workers, func(i int, _ *bitmap.JoinScratch) error {
+		atomic.AddInt64(&calls, 1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// After the first failure each worker can have at most one job already
+	// in flight; allow generous slack for scheduling races.
+	if got := atomic.LoadInt64(&calls); got > 16*workers {
+		t.Fatalf("ran %d of %d jobs after the first error", got, n)
+	}
+}
+
+// TestParallelForWorkerScratchReused: the scratch a worker sees is the
+// same object across the jobs it runs (that is the whole point: buffers
+// leased from it survive between trials).
+func TestParallelForWorkerScratchReused(t *testing.T) {
+	seen := make(map[*bitmap.JoinScratch]int)
+	var mu sync.Mutex
+	err := parallelFor(64, 4, func(i int, sc *bitmap.JoinScratch) error {
+		mu.Lock()
+		seen[sc]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	if total != 64 {
+		t.Fatalf("jobs run = %d, want 64", total)
+	}
+	if len(seen) > 4 {
+		t.Fatalf("distinct scratches = %d, want <= workers", len(seen))
+	}
+}
+
 func TestParallelForDegenerate(t *testing.T) {
-	if err := parallelFor(0, 4, func(int) error { return errors.New("never") }); err != nil {
+	if err := parallelFor(0, 4, func(int, *bitmap.JoinScratch) error { return errors.New("never") }); err != nil {
 		t.Errorf("n=0 err = %v", err)
 	}
 	ran := false
-	if err := parallelFor(1, 0, func(int) error { ran = true; return nil }); err != nil {
+	if err := parallelFor(1, 0, func(int, *bitmap.JoinScratch) error { ran = true; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if !ran {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"ptm/internal/bitmap"
 	"ptm/internal/core"
 	"ptm/internal/lpc"
 	"ptm/internal/synth"
@@ -10,9 +11,9 @@ import (
 )
 
 // estimatePair runs the proposed point-to-point estimator over a pair
-// workload and returns the estimate.
-func estimatePair(w *synth.PairWorkload, s int) (float64, error) {
-	res, err := core.EstimatePointToPoint(w.SetA, w.SetB, s)
+// workload and returns the estimate, leasing the join buffers from sc.
+func estimatePair(w *synth.PairWorkload, s int, sc *bitmap.JoinScratch) (float64, error) {
+	res, err := core.EstimatePointToPointWith(sc, w.SetA, w.SetB, s)
 	if err != nil {
 		return 0, err
 	}
@@ -95,8 +96,8 @@ func RunTable1(tab *trips.Table, locs []trips.Zone, ts []int, opts Options) (*Ta
 			errs := make([]float64, opts.Runs)
 			volA := repeatVolumes(n, t)
 			volB := repeatVolumes(nPrime, t)
-			runErr := parallelFor(opts.Runs, opts.Workers, func(run int) error {
-				re, err := trialPair(trialSeed(opts.Seed, cell, uint64(run)), opts.S, opts.F, volA, volB, int(nc), false)
+			runErr := parallelFor(opts.Runs, opts.Workers, func(run int, sc *bitmap.JoinScratch) error {
+				re, err := trialPair(trialSeed(opts.Seed, cell, uint64(run)), opts.S, opts.F, volA, volB, int(nc), false, sc)
 				if err != nil {
 					return fmt.Errorf("sim: table1 L=%d t=%d run %d: %w", loc, t, run, err)
 				}
@@ -114,8 +115,8 @@ func RunTable1(tab *trips.Table, locs []trips.Zone, ts []int, opts Options) (*Ta
 			errs := make([]float64, opts.Runs)
 			volA := repeatVolumes(n, SameSizeT)
 			volB := repeatVolumes(nPrime, SameSizeT)
-			runErr := parallelFor(opts.Runs, opts.Workers, func(run int) error {
-				re, err := trialPair(trialSeed(opts.Seed, cell, uint64(run)), opts.S, opts.F, volA, volB, int(nc), true)
+			runErr := parallelFor(opts.Runs, opts.Workers, func(run int, sc *bitmap.JoinScratch) error {
+				re, err := trialPair(trialSeed(opts.Seed, cell, uint64(run)), opts.S, opts.F, volA, volB, int(nc), true, sc)
 				if err != nil {
 					return fmt.Errorf("sim: table1 same-size L=%d run %d: %w", loc, run, err)
 				}

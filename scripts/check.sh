@@ -44,9 +44,17 @@ fi
 step "go test -race ./..."
 go test -race ./...
 
+# Archive the committed benchmark baseline (regenerate with `make
+# bench-json`) next to the lint report so CI surfaces both.
+if [ -f BENCH_pr3.json ]; then
+	step "archiving BENCH_pr3.json -> $ARTIFACT_DIR/"
+	cp BENCH_pr3.json "$ARTIFACT_DIR/BENCH_pr3.json"
+fi
+
 step "fuzz smoke ($FUZZTIME per target)"
 # Each fuzz target runs alone: `go test -fuzz` accepts a single match.
 go test -run=NONE -fuzz='^FuzzUnmarshal$' -fuzztime="$FUZZTIME" ./internal/bitmap/
+go test -run=NONE -fuzz='^FuzzFusedJoin$' -fuzztime="$FUZZTIME" ./internal/bitmap/
 go test -run=NONE -fuzz='^FuzzUnmarshal$' -fuzztime="$FUZZTIME" ./internal/record/
 go test -run=NONE -fuzz='^FuzzRoundTrip$' -fuzztime="$FUZZTIME" ./internal/record/
 go test -run=NONE -fuzz='^FuzzIndex$' -fuzztime="$FUZZTIME" ./internal/vhash/
