@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench bench-json
+.PHONY: build test lint check bench bench-json bench-ingest
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,13 @@ bench-json:
 		-bench='BenchmarkJoinPoint|BenchmarkJoinPointToPoint|BenchmarkEstimatePoint|BenchmarkAndAll' \
 		-benchmem ./internal/core/ ./internal/bitmap/ \
 		| $(GO) run ./cmd/benchjson > BENCH_pr3.json
+
+# bench-ingest records the ingest-plane baseline (mutex vs atomic RSU
+# ingest, single vs batched vs pipelined upload, global vs sharded central
+# store) as BENCH_pr4.json. -cpu=1,4,8 captures the contention story.
+bench-ingest:
+	$(GO) test -run=NONE \
+		-bench='BenchmarkIngest(Mutex|Atomic)|BenchmarkUpload(Single|Batched|Pipelined)|BenchmarkStore(Global|Sharded)|BenchmarkRotation' \
+		-benchmem -cpu=1,4,8 \
+		./internal/rsu/ ./internal/transport/ ./internal/central/ \
+		| $(GO) run ./cmd/benchjson > BENCH_pr4.json

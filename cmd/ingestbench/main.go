@@ -1,0 +1,204 @@
+// Command ingestbench load-tests the ingest plane end to end: a worker
+// storm sprays vehicle reports at lock-free RSUs over the DSRC channel,
+// the finished records are uploaded to an in-process central server over
+// TCP loopback (singly or as one batch frame per RSU), and both stages'
+// throughput is reported.
+//
+//	ingestbench -rsus 4 -workers 8 -reports 400000 -batch
+//
+// This is the operational companion to the committed micro-benchmarks
+// (make bench-ingest): one command that exercises atomic bitmap writes,
+// RCU period rotation, sharded central ingest, and batched transport
+// together and prints the achieved rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"ptm/internal/central"
+	"ptm/internal/cli"
+	"ptm/internal/dsrc"
+	"ptm/internal/pki"
+	"ptm/internal/record"
+	"ptm/internal/rsu"
+	"ptm/internal/transport"
+	"ptm/internal/vhash"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ingestbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ingestbench", flag.ContinueOnError)
+	var (
+		nRSUs   = fs.Int("rsus", 4, "RSUs (one location each)")
+		workers = fs.Int("workers", 8, "report-storm goroutines per RSU")
+		reports = fs.Int("reports", 400000, "reports per period, spread across all RSUs")
+		periods = fs.Int("periods", 4, "measurement periods to run")
+		batch   = fs.Bool("batch", true, "upload each RSU's backlog as one UploadBatch frame")
+		shards  = fs.Int("shards", central.DefaultShards, "central store shard count (power of two)")
+		f       = fs.Float64("f", 2.0, "bitmap load factor (Eq. 2)")
+		s       = fs.Int("s", 3, "representative bits per vehicle")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nRSUs < 1 || *workers < 1 || *reports < 1 || *periods < 1 {
+		return fmt.Errorf("rsus, workers, reports, and periods must be positive")
+	}
+
+	// Ingest-plane fixtures: one credentialed RSU per location.
+	now := time.Now()
+	authority, err := pki.NewAuthority(now, 24*time.Hour)
+	if err != nil {
+		return err
+	}
+	units := make([]*rsu.RSU, *nRSUs)
+	chans := make([]*dsrc.Channel, *nRSUs)
+	for i := 0; i < *nRSUs; i++ {
+		cred, err := authority.IssueRSU(vhash.LocationID(i+1), now, 24*time.Hour)
+		if err != nil {
+			return err
+		}
+		if chans[i], err = dsrc.NewChannel(dsrc.Config{}); err != nil {
+			return err
+		}
+		if units[i], err = rsu.New(cred, chans[i], *f, nil); err != nil {
+			return err
+		}
+	}
+
+	// Central stack on TCP loopback.
+	store, err := central.NewServerSharded(*s, *shards)
+	if err != nil {
+		return err
+	}
+	srv, err := transport.NewServer(store, nil)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		//ptmlint:allow errdrop -- Serve exits via the deferred Close; its error is that Close
+		_ = srv.Serve(ln)
+		serveDone <- struct{}{}
+	}()
+	defer func() {
+		//ptmlint:allow errdrop -- best-effort teardown at process exit
+		_ = srv.Close()
+		<-serveDone
+	}()
+	client, err := transport.Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//ptmlint:allow errdrop -- best-effort teardown at process exit
+		_ = client.Close()
+	}()
+
+	perRSU := *reports / *nRSUs
+	perWorker := perRSU / *workers
+	if perWorker == 0 {
+		return fmt.Errorf("%d reports spread over %d RSUs x %d workers leaves none per worker",
+			*reports, *nRSUs, *workers)
+	}
+
+	var stormTotal, uploadTotal time.Duration
+	var recordsUploaded, roundTrips int
+	for p := 1; p <= *periods; p++ {
+		period := record.PeriodID(p)
+		for _, u := range units {
+			if err := u.StartPeriod(period, float64(perRSU)); err != nil {
+				return err
+			}
+		}
+
+		// Storm: every RSU takes *workers concurrent senders, each with a
+		// disjoint index stream — the many-vehicles-one-junction shape the
+		// lock-free report path exists for.
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, *nRSUs**workers)
+		for i := 0; i < *nRSUs; i++ {
+			ch := chans[i]
+			for w := 0; w < *workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := uint64(w) << 40
+					for j := 0; j < perWorker; j++ {
+						idx := (base + uint64(j)) * 0x9e3779b97f4a7c15
+						if err := ch.Send(dsrc.Report{Period: period, Index: idx}); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		stormTotal += time.Since(start)
+
+		// Drain: close the period on every RSU and upload the backlog.
+		recs := make([]*record.Record, len(units))
+		for i := 0; i < *nRSUs; i++ {
+			if recs[i], err = units[i].EndPeriod(); err != nil {
+				return err
+			}
+		}
+		start = time.Now()
+		if *batch {
+			accepted, err := client.UploadBatch(recs)
+			if err != nil {
+				return fmt.Errorf("period %d batch upload: %w", p, err)
+			}
+			recordsUploaded += accepted
+			roundTrips++
+		} else {
+			for _, rec := range recs {
+				if err := client.Upload(rec); err != nil {
+					return fmt.Errorf("period %d upload loc %d: %w", p, rec.Location, err)
+				}
+				recordsUploaded++
+				roundTrips++
+			}
+		}
+		uploadTotal += time.Since(start)
+	}
+
+	sent := *nRSUs * *workers * perWorker * *periods
+	st := store.Stats()
+	pr := cli.NewPrinter(out)
+	pr.Printf("ingest storm: %d reports through %d RSUs x %d workers in %v (%.0f reports/sec)\n",
+		sent, *nRSUs, *workers, stormTotal.Round(time.Millisecond),
+		float64(sent)/stormTotal.Seconds())
+	mode := "single"
+	if *batch {
+		mode = "batched"
+	}
+	pr.Printf("upload (%s): %d records in %d round trips over %v (%.0f records/sec)\n",
+		mode, recordsUploaded, roundTrips, uploadTotal.Round(time.Millisecond),
+		float64(recordsUploaded)/uploadTotal.Seconds())
+	pr.Printf("central store: %d locations, %d records, %d shards\n",
+		st.Locations, st.Records, store.Shards())
+	return pr.Err()
+}

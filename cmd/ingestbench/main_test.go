@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallBatch(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-rsus", "2", "-workers", "4", "-reports", "8000", "-periods", "2",
+		"-batch=true", "-shards", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"ingest storm: 16000 reports",
+		"upload (batched): 4 records in 2 round trips",
+		"central store: 2 locations, 4 records, 4 shards",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSmallSingle(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-rsus", "1", "-workers", "2", "-reports", "2000", "-periods", "3",
+		"-batch=false",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "upload (single): 3 records in 3 round trips") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-rsus", "0"},
+		{"-reports", "10", "-rsus", "4", "-workers", "8"}, // no reports per worker
+		{"-shards", "3"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

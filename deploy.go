@@ -73,9 +73,16 @@ func NewVehicle(id *VehicleIdentity, a *Authority, clock func() time.Time) (*Veh
 }
 
 // NewCentralServer creates an empty record store configured with the
-// system-wide representative-bit count s.
+// system-wide representative-bit count s and the default shard count.
 func NewCentralServer(s int) (*CentralServer, error) {
 	return central.NewServer(s)
+}
+
+// NewCentralServerSharded creates an empty record store with an explicit
+// lock-shard count (a power of two); larger deployments admit more
+// concurrent uploads with more shards.
+func NewCentralServerSharded(s, shards int) (*CentralServer, error) {
+	return central.NewServerSharded(s, shards)
 }
 
 // NewTransportServer exposes a central store over the wire protocol;

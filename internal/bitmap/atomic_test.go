@@ -1,0 +1,101 @@
+package bitmap
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAtomicSetMatchesSet: the atomic write path must be bit-identical to
+// the sequential one for the same index set.
+func TestAtomicSetMatchesSet(t *testing.T) {
+	seq := MustNew(1 << 12)
+	atm := MustNew(1 << 12)
+	for i := uint64(0); i < 10000; i++ {
+		idx := i * 0x9e3779b97f4a7c15
+		seq.Set(idx)
+		atm.AtomicSet(idx)
+	}
+	if !seq.Equal(atm) {
+		t.Fatal("atomic and sequential writes diverge")
+	}
+}
+
+// TestAtomicSetConcurrent: a storm of concurrent writers must lose no
+// update — the final bitmap equals the sequential union of every index.
+func TestAtomicSetConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	got := MustNew(1 << 10)
+	want := MustNew(1 << 10)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perW; i++ {
+			want.Set(uint64(w*perW+i) * 0x9e3779b97f4a7c15)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				got.AtomicSet(uint64(w*perW+i) * 0x9e3779b97f4a7c15)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !got.Equal(want) {
+		t.Fatal("concurrent atomic writes lost updates")
+	}
+	if got.Ones() != got.AtomicOnes() {
+		t.Errorf("AtomicOnes = %d, Ones = %d", got.AtomicOnes(), got.Ones())
+	}
+}
+
+// TestAtomicGet: atomic reads see atomic writes, with the same defensive
+// index reduction as the plain accessors.
+func TestAtomicGet(t *testing.T) {
+	b := MustNew(64)
+	b.AtomicSet(7)
+	if !b.AtomicGet(7) || !b.AtomicGet(7+64) {
+		t.Error("AtomicGet misses a set bit (or skips index reduction)")
+	}
+	if b.AtomicGet(8) {
+		t.Error("AtomicGet reports an unset bit")
+	}
+	if f := b.AtomicFractionOne(); f != 1.0/64 {
+		t.Errorf("AtomicFractionOne = %v", f)
+	}
+}
+
+// TestAtomicReadsDuringWrites exercises the live-snapshot contract under
+// the race detector: Atomic* readers run concurrently with AtomicSet
+// writers, and the count only grows.
+func TestAtomicReadsDuringWrites(t *testing.T) {
+	b := MustNew(1 << 10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < 20000; i++ {
+			b.AtomicSet(i * 0x9e3779b97f4a7c15)
+		}
+	}()
+	prev := 0
+	for {
+		n := b.AtomicOnes()
+		if n < prev {
+			t.Errorf("AtomicOnes went backwards: %d -> %d", prev, n)
+		}
+		prev = n
+		b.AtomicGet(uint64(n))
+		select {
+		case <-done:
+			if got := b.AtomicOnes(); got != b.Ones() {
+				t.Errorf("final AtomicOnes = %d, Ones = %d", got, b.Ones())
+			}
+			return
+		default:
+		}
+	}
+}

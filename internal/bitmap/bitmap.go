@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/bits"
+	"sync/atomic"
 )
 
 // MaxBits caps the size of a single bitmap. 2^30 bits = 128 MiB, far above
@@ -77,6 +78,48 @@ func (b *Bitmap) Words() int { return len(b.words) }
 func (b *Bitmap) Set(i uint64) {
 	i &= uint64(b.nbits - 1) // nbits is a power of two
 	b.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// AtomicSet sets bit i to one with an atomic OR on the backing word, so
+// any number of goroutines may fold reports into the same bitmap
+// concurrently and no update is lost. Setting one pseudo-random bit is
+// idempotent and order-free (Section II-D), so concurrent OR implements
+// exactly the paper's ingest semantics. Concurrent readers must use the
+// Atomic* accessors; plain reads (Ones, MarshalBinary, ...) are safe only
+// after a happens-before edge with every writer — the RSU's period
+// rotation provides one before a record leaves the ingest plane.
+//
+//ptm:sink bitmap write
+func (b *Bitmap) AtomicSet(i uint64) {
+	i &= uint64(b.nbits - 1) // nbits is a power of two
+	atomic.OrUint64(&b.words[i/wordBits], 1<<(i%wordBits))
+}
+
+// AtomicGet reports whether bit i is one, using an atomic load so it may
+// run concurrently with AtomicSet writers.
+func (b *Bitmap) AtomicGet(i uint64) bool {
+	i &= uint64(b.nbits - 1)
+	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(i%wordBits)) != 0
+}
+
+// AtomicOnes counts one bits with atomic word loads. Concurrent
+// AtomicSet writers may land during the scan, so the count is a live
+// lower bound: every bit set before the call is counted, bits set during
+// it may or may not be. (Bits are never cleared concurrently, so the
+// result is always the exact count of some moment between entry and
+// return.)
+func (b *Bitmap) AtomicOnes() int {
+	n := 0
+	for i := range b.words {
+		n += bits.OnesCount64(atomic.LoadUint64(&b.words[i]))
+	}
+	return n
+}
+
+// AtomicFractionOne is FractionOne over an AtomicOnes snapshot, for
+// observability of a bitmap that is still being written.
+func (b *Bitmap) AtomicFractionOne() float64 {
+	return float64(b.AtomicOnes()) / float64(b.nbits)
 }
 
 // Get reports whether bit i is one. Indexes are reduced modulo Size.

@@ -4,6 +4,17 @@
 // per-period volume (Eq. 1), point persistent traffic (Eq. 12), and
 // point-to-point persistent traffic (Eq. 21). Because records are
 // privacy-preserving bitmaps, the server never holds per-vehicle data.
+//
+// # Concurrency
+//
+// The store is sharded by location: each shard holds a disjoint slice of
+// the location space under its own RWMutex, so uploads for different
+// locations (the common case — every RSU reports a distinct location)
+// take disjoint locks and proceed in parallel. All methods are safe for
+// concurrent use. Cross-shard operations (Locations, Stats, DropBefore,
+// SaveTo) lock one shard at a time, so they see a per-shard-consistent
+// — not globally atomic — view; that is fine because records are
+// immutable once ingested and never modified in place.
 package central
 
 import (
@@ -12,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -27,29 +39,68 @@ var (
 	ErrNoPeriods = errors.New("central: query names no periods")
 )
 
-// Server is the in-memory record store and query engine. The zero value
-// is not usable; construct with NewServer.
-type Server struct {
-	mu sync.RWMutex
-	// byLoc[loc][period] holds the stored records.
+// DefaultShards is the shard count used by NewServer: enough that a
+// city's worth of RSUs uploading at period end rarely collide on a lock,
+// small enough that cross-shard iteration stays cheap.
+const DefaultShards = 16
+
+// shard is one lock domain of the store.
+type shard struct {
+	mu sync.RWMutex // guards byLoc and its inner maps
+	// byLoc[loc][period] holds the stored records for this shard's slice
+	// of the location space.
 	byLoc map[vhash.LocationID]map[record.PeriodID]*record.Record
-	s     int // system-wide representative-bit count, needed by Eq. (21)
+}
+
+// Server is the in-memory record store and query engine. The zero value
+// is not usable; construct with NewServer or NewServerSharded.
+type Server struct {
+	shards []shard // immutable slice; per-shard state under shard.mu
+	mask   uint64  // len(shards)-1; len(shards) is a power of two
+	s      int     // system-wide representative-bit count, needed by Eq. (21)
 }
 
 // NewServer creates an empty server configured with the system-wide
-// representative-bit parameter s (Section II-D).
+// representative-bit parameter s (Section II-D) and DefaultShards lock
+// shards.
 func NewServer(s int) (*Server, error) {
+	return NewServerSharded(s, DefaultShards)
+}
+
+// NewServerSharded creates an empty server with an explicit shard count,
+// which must be a power of two in [1, 1<<12]. More shards admit more
+// concurrent uploads at the cost of slower cross-shard iteration.
+func NewServerSharded(s, nShards int) (*Server, error) {
 	if s < vhash.MinS || s > vhash.MaxS {
 		return nil, fmt.Errorf("central: %w", vhash.ErrInvalidS)
 	}
-	return &Server{
-		byLoc: make(map[vhash.LocationID]map[record.PeriodID]*record.Record),
-		s:     s,
-	}, nil
+	if nShards < 1 || nShards > 1<<12 || bits.OnesCount(uint(nShards)) != 1 {
+		return nil, fmt.Errorf("central: shard count %d is not a power of two in [1, 4096]", nShards)
+	}
+	srv := &Server{
+		shards: make([]shard, nShards),
+		mask:   uint64(nShards - 1),
+		s:      s,
+	}
+	for i := range srv.shards {
+		srv.shards[i].byLoc = make(map[vhash.LocationID]map[record.PeriodID]*record.Record)
+	}
+	return srv, nil
 }
 
 // S returns the configured representative-bit count.
 func (s *Server) S() int { return s.s }
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// shardFor maps a location to its shard. Location IDs are operator
+// assigned and often sequential, so they are mixed through a Fibonacci
+// hash and the shard index taken from the high bits.
+func (s *Server) shardFor(loc vhash.LocationID) *shard {
+	h := uint64(loc) * 0x9e3779b97f4a7c15
+	return &s.shards[(h>>32)&s.mask]
+}
 
 // Ingest stores one uploaded record. Duplicate (location, period) pairs
 // are rejected: an RSU reports each period exactly once, so a duplicate
@@ -61,12 +112,13 @@ func (s *Server) Ingest(rec *record.Record) error {
 	if err := rec.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byPeriod, ok := s.byLoc[rec.Location]
+	sh := s.shardFor(rec.Location)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	byPeriod, ok := sh.byLoc[rec.Location]
 	if !ok {
 		byPeriod = make(map[record.PeriodID]*record.Record)
-		s.byLoc[rec.Location] = byPeriod
+		sh.byLoc[rec.Location] = byPeriod
 	}
 	if _, dup := byPeriod[rec.Period]; dup {
 		return fmt.Errorf("%w: loc=%d period=%d", ErrDuplicate, rec.Location, rec.Period)
@@ -77,11 +129,14 @@ func (s *Server) Ingest(rec *record.Record) error {
 
 // Locations returns all locations with stored records, sorted.
 func (s *Server) Locations() []vhash.LocationID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]vhash.LocationID, 0, len(s.byLoc))
-	for loc := range s.byLoc {
-		out = append(out, loc)
+	var out []vhash.LocationID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for loc := range sh.byLoc {
+			out = append(out, loc)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -89,13 +144,14 @@ func (s *Server) Locations() []vhash.LocationID {
 
 // Periods returns the sorted periods stored for a location.
 func (s *Server) Periods(loc vhash.LocationID) []record.PeriodID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byPeriod := s.byLoc[loc]
+	sh := s.shardFor(loc)
+	sh.mu.RLock()
+	byPeriod := sh.byLoc[loc]
 	out := make([]record.PeriodID, 0, len(byPeriod))
 	for p := range byPeriod {
 		out = append(out, p)
 	}
+	sh.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -105,25 +161,36 @@ func (s *Server) get(loc vhash.LocationID, periods []record.PeriodID) (*record.S
 	if len(periods) == 0 {
 		return nil, ErrNoPeriods
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byPeriod := s.byLoc[loc]
+	sh := s.shardFor(loc)
+	sh.mu.RLock()
+	byPeriod := sh.byLoc[loc]
 	recs := make([]*record.Record, 0, len(periods))
 	for _, p := range periods {
 		rec, ok := byPeriod[p]
 		if !ok {
+			sh.mu.RUnlock()
 			return nil, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, loc, p)
 		}
 		recs = append(recs, rec)
 	}
+	sh.mu.RUnlock()
 	return record.NewSet(recs)
+}
+
+// lookup fetches one record under its shard's read lock. Records are
+// immutable once stored, so the returned pointer is safe to use after the
+// lock is released.
+func (s *Server) lookup(loc vhash.LocationID, p record.PeriodID) (*record.Record, bool) {
+	sh := s.shardFor(loc)
+	sh.mu.RLock()
+	rec, ok := sh.byLoc[loc][p]
+	sh.mu.RUnlock()
+	return rec, ok
 }
 
 // Volume estimates the plain traffic volume at loc in one period (Eq. 1).
 func (s *Server) Volume(loc vhash.LocationID, p record.PeriodID) (float64, error) {
-	s.mu.RLock()
-	rec, ok := s.byLoc[loc][p]
-	s.mu.RUnlock()
+	rec, ok := s.lookup(loc, p)
 	if !ok {
 		return 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, loc, p)
 	}
@@ -191,10 +258,8 @@ func (s *Server) PointToPointPersistent(locA, locB vhash.LocationID, periods []r
 // ODVolume estimates the single-period point-to-point volume between two
 // locations: the number of vehicles that passed both during period p.
 func (s *Server) ODVolume(locA, locB vhash.LocationID, p record.PeriodID) (float64, error) {
-	s.mu.RLock()
-	recA, okA := s.byLoc[locA][p]
-	recB, okB := s.byLoc[locB][p]
-	s.mu.RUnlock()
+	recA, okA := s.lookup(locA, p)
+	recB, okB := s.lookup(locB, p)
 	if !okA {
 		return 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, locA, p)
 	}
@@ -215,21 +280,26 @@ const (
 	snapVersion = 1
 )
 
-// SaveTo writes a snapshot of all stored records.
+// SaveTo writes a snapshot of all stored records. The records are sorted
+// by (location, period), so the snapshot bytes do not depend on shard
+// count or map iteration order.
 func (s *Server) SaveTo(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], snapMagic)
 	hdr[4] = snapVersion
 
-	s.mu.RLock()
 	var recs []*record.Record
-	for _, byPeriod := range s.byLoc {
-		for _, rec := range byPeriod {
-			recs = append(recs, rec)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, byPeriod := range sh.byLoc {
+			for _, rec := range byPeriod {
+				recs = append(recs, rec)
+			}
 		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	sort.Slice(recs, func(i, j int) bool {
 		if recs[i].Location != recs[j].Location {
 			return recs[i].Location < recs[j].Location

@@ -13,21 +13,26 @@ import (
 // analysis horizon no longer needs.
 
 // DropBefore removes all records older than the cutoff period (exclusive)
-// at every location and reports how many were dropped.
+// at every location and reports how many were dropped. Shards are pruned
+// one at a time, so uploads racing the prune land before or after their
+// location's shard is visited, never mid-scan.
 func (s *Server) DropBefore(cutoff record.PeriodID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dropped := 0
-	for loc, byPeriod := range s.byLoc {
-		for p := range byPeriod {
-			if p < cutoff {
-				delete(byPeriod, p)
-				dropped++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for loc, byPeriod := range sh.byLoc {
+			for p := range byPeriod {
+				if p < cutoff {
+					delete(byPeriod, p)
+					dropped++
+				}
+			}
+			if len(byPeriod) == 0 {
+				delete(sh.byLoc, loc)
 			}
 		}
-		if len(byPeriod) == 0 {
-			delete(s.byLoc, loc)
-		}
+		sh.mu.Unlock()
 	}
 	return dropped
 }
@@ -46,9 +51,10 @@ func (s *Server) RetainLatest(loc vhash.LocationID, n int) int {
 	} else {
 		cut = periods[len(periods)-1] + 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byPeriod := s.byLoc[loc]
+	sh := s.shardFor(loc)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	byPeriod := sh.byLoc[loc]
 	dropped := 0
 	for p := range byPeriod {
 		if p < cut {
@@ -57,7 +63,7 @@ func (s *Server) RetainLatest(loc vhash.LocationID, n int) int {
 		}
 	}
 	if len(byPeriod) == 0 {
-		delete(s.byLoc, loc)
+		delete(sh.byLoc, loc)
 	}
 	return dropped
 }
@@ -70,16 +76,22 @@ type StoreStats struct {
 	Bits int64
 }
 
-// Stats returns a snapshot of store-level counters.
+// Stats returns a snapshot of store-level counters. Each shard is
+// counted under its own lock; concurrent uploads may land between shard
+// visits, so the totals are per-shard consistent.
 func (s *Server) Stats() StoreStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := StoreStats{Locations: len(s.byLoc)}
-	for _, byPeriod := range s.byLoc {
-		st.Records += len(byPeriod)
-		for _, rec := range byPeriod {
-			st.Bits += int64(rec.Size())
+	var st StoreStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Locations += len(sh.byLoc)
+		for _, byPeriod := range sh.byLoc {
+			st.Records += len(byPeriod)
+			for _, rec := range byPeriod {
+				st.Bits += int64(rec.Size())
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return st
 }

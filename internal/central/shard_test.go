@@ -1,0 +1,215 @@
+package central
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+func TestNewServerShardedValidation(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12, 1 << 13} {
+		if _, err := NewServerSharded(3, n); err == nil {
+			t.Errorf("shard count %d accepted", n)
+		}
+	}
+	for _, n := range []int{1, 2, 16, 1 << 12} {
+		srv, err := NewServerSharded(3, n)
+		if err != nil {
+			t.Errorf("shard count %d rejected: %v", n, err)
+			continue
+		}
+		if srv.Shards() != n {
+			t.Errorf("Shards() = %d, want %d", srv.Shards(), n)
+		}
+	}
+	if srv, err := NewServer(3); err != nil || srv.Shards() != DefaultShards {
+		t.Errorf("NewServer: %v, shards %d", err, srv.Shards())
+	}
+}
+
+// TestShardDistribution: sequential location IDs (the common operator
+// numbering) must spread across shards, not pile onto a few.
+func TestShardDistribution(t *testing.T) {
+	srv, err := NewServerSharded(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[*shard]int)
+	const locs = 1600
+	for loc := 1; loc <= locs; loc++ {
+		counts[srv.shardFor(vhash.LocationID(loc))]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("sequential locations hit %d/16 shards", len(counts))
+	}
+	for sh, n := range counts {
+		// Perfectly uniform would be 100 per shard; allow 3x skew.
+		if n > 300 {
+			t.Errorf("shard %p holds %d of %d locations", sh, n, locs)
+		}
+	}
+}
+
+// TestSnapshotShardCountIndependent: SaveTo sorts globally, so the
+// snapshot bytes must not depend on how the store is sharded.
+func TestSnapshotShardCountIndependent(t *testing.T) {
+	var snaps [][]byte
+	for _, n := range []int{1, 4, 64} {
+		srv, err := NewServerSharded(3, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for loc := 1; loc <= 50; loc++ {
+			for p := 1; p <= 4; p++ {
+				rec := mustRecord(t, vhash.LocationID(loc), record.PeriodID(p), 64)
+				rec.Bitmap.Set(uint64(loc * p))
+				if err := srv.Ingest(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := srv.SaveTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, buf.Bytes())
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) || !bytes.Equal(snaps[0], snaps[2]) {
+		t.Error("snapshot bytes vary with shard count")
+	}
+}
+
+// TestConcurrentUploadQuerySoak hammers the sharded store with parallel
+// ingest, queries, listings, stats, and retention. Run under -race this
+// is the store's memory-model check; the final census must be exact.
+func TestConcurrentUploadQuerySoak(t *testing.T) {
+	const (
+		writers = 8
+		perLoc  = 40
+	)
+	srv, err := NewServerSharded(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var ingested atomic.Int64
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := 1; p <= perLoc; p++ {
+				for loc := w * 10; loc < w*10+10; loc++ {
+					rec := mustRecord(t, vhash.LocationID(loc+1), record.PeriodID(p), 64)
+					rec.Bitmap.Set(uint64(loc+p) * 0x9e3779b97f4a7c15)
+					if err := srv.Ingest(rec); err != nil {
+						t.Error(err)
+						return
+					}
+					ingested.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Readers churn every cross-shard and per-shard read path while
+	// writers run.
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = srv.Stats()
+				for _, loc := range srv.Locations() {
+					ps := srv.Periods(loc)
+					if len(ps) == 0 {
+						continue
+					}
+					//ptmlint:allow errdrop -- racing a concurrent writer, absence is expected
+					_, _ = srv.Volume(loc, ps[0])
+					if len(ps) >= 2 {
+						//ptmlint:allow errdrop -- a period may be dropped mid-query by retention
+						_, _ = srv.PointPersistent(loc, ps[:2])
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	want := int64(writers * 10 * perLoc)
+	if got := ingested.Load(); got != want {
+		t.Fatalf("ingested %d, want %d", got, want)
+	}
+	st := srv.Stats()
+	if st.Locations != writers*10 || int64(st.Records) != want {
+		t.Errorf("stats = %+v, want %d locations, %d records", st, writers*10, want)
+	}
+	// Retention still agrees with the census.
+	if dropped := srv.DropBefore(perLoc + 1); int64(dropped) != want {
+		t.Errorf("dropped %d, want %d", dropped, want)
+	}
+	if st := srv.Stats(); st.Records != 0 || st.Locations != 0 {
+		t.Errorf("store not empty after drop: %+v", st)
+	}
+}
+
+// benchParallelIngest drives concurrent ingest of Table I-scale records
+// against a store; every goroutine writes distinct locations, the
+// paper's deployment shape (one RSU per location).
+func benchParallelIngest(b *testing.B, srv *Server) {
+	b.Helper()
+	tmpl, err := record.New(1, 1, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		loc := vhash.LocationID(next.Add(1) << 32)
+		p := record.PeriodID(0)
+		for pb.Next() {
+			p++
+			if p > 1<<20 {
+				loc++
+				p = 1
+			}
+			r := &record.Record{Location: loc, Period: p, Bitmap: tmpl.Bitmap}
+			if err := srv.Ingest(r); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkStoreGlobal is the pre-sharding baseline: one shard, i.e. a
+// single global RWMutex over the whole store.
+func BenchmarkStoreGlobal(b *testing.B) {
+	srv, err := NewServerSharded(3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, srv)
+}
+
+// BenchmarkStoreSharded is the same workload over 64 shards.
+func BenchmarkStoreSharded(b *testing.B) {
+	srv, err := NewServerSharded(3, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, srv)
+}

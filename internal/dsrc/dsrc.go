@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"ptm/internal/record"
 	"ptm/internal/vhash"
@@ -66,17 +67,23 @@ var (
 // All delivery is synchronous; loss is the only impairment modeled, since
 // the measurement protocol is a stateless request/response whose timing
 // does not affect the estimators.
+//
+// Send is the high-fan-in path (every passing vehicle at every beacon)
+// and is lock-free when ReportLoss is zero: the sink and counters are
+// atomics, so concurrent vehicle reports proceed without convoying on the
+// channel mutex. Lossy channels take the mutex only for the RNG draw.
 type Channel struct {
-	mu        sync.Mutex
+	mu        sync.Mutex // guards rng, nextSub, and listeners
 	rng       *rand.Rand
-	cfg       Config
 	nextSub   int
 	listeners map[int]func(Beacon)
-	sink      func(Report)
-	closed    bool
 
-	beaconsSent, beaconsLost uint64
-	reportsSent, reportsLost uint64
+	cfg    Config // immutable after NewChannel
+	closed atomic.Bool
+	sink   atomic.Pointer[func(Report)]
+
+	beaconsSent, beaconsLost atomic.Uint64
+	reportsSent, reportsLost atomic.Uint64
 }
 
 // NewChannel creates a channel with the given impairment model.
@@ -99,7 +106,7 @@ func NewChannel(cfg Config) (*Channel, error) {
 func (c *Channel) Subscribe(fn func(Beacon)) (cancel func(), err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed.Load() {
 		return nil, ErrClosed
 	}
 	id := c.nextSub
@@ -117,13 +124,13 @@ func (c *Channel) Subscribe(fn func(Beacon)) (cancel func(), err error) {
 func (c *Channel) AttachSink(fn func(Report)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
-	if c.sink != nil {
+	if c.sink.Load() != nil {
 		return errors.New("dsrc: report sink already attached")
 	}
-	c.sink = fn
+	c.sink.Store(&fn)
 	return nil
 }
 
@@ -135,15 +142,15 @@ func (c *Channel) AttachSink(fn func(Report)) error {
 //ptm:sink dsrc broadcast
 func (c *Channel) Broadcast(b Beacon) error {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed.Load() {
 		c.mu.Unlock()
 		return ErrClosed
 	}
 	var deliver []func(Beacon)
 	for _, fn := range c.listeners {
-		c.beaconsSent++
+		c.beaconsSent.Add(1)
 		if c.cfg.BeaconLoss > 0 && c.rng.Float64() < c.cfg.BeaconLoss {
-			c.beaconsLost++
+			c.beaconsLost.Add(1)
 			continue
 		}
 		deliver = append(deliver, fn)
@@ -160,34 +167,36 @@ func (c *Channel) Broadcast(b Beacon) error {
 //
 //ptm:sink dsrc transmission
 func (c *Channel) Send(r Report) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return ErrClosed
 	}
-	if c.sink == nil {
-		c.mu.Unlock()
+	sink := c.sink.Load()
+	if sink == nil {
 		return ErrNoUplink
 	}
-	c.reportsSent++
-	if c.cfg.ReportLoss > 0 && c.rng.Float64() < c.cfg.ReportLoss {
-		c.reportsLost++
+	c.reportsSent.Add(1)
+	if c.cfg.ReportLoss > 0 {
+		c.mu.Lock()
+		lost := c.rng.Float64() < c.cfg.ReportLoss
 		c.mu.Unlock()
-		return nil // lost in the air; sender cannot tell
+		if lost {
+			c.reportsLost.Add(1)
+			return nil // lost in the air; sender cannot tell
+		}
 	}
-	sink := c.sink
-	c.mu.Unlock()
-	sink(r)
+	(*sink)(r)
 	return nil
 }
 
 // Close tears the channel down; subsequent operations fail with ErrClosed.
+// A Send racing Close may still deliver its report — exactly like a frame
+// already in the air when the radio powers off.
 func (c *Channel) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.closed = true
+	c.closed.Store(true)
 	c.listeners = map[int]func(Beacon){}
-	c.sink = nil
+	c.sink.Store(nil)
 }
 
 // Stats reports message counters (sent includes lost).
@@ -198,11 +207,9 @@ type Stats struct {
 
 // Stats returns a snapshot of the channel counters.
 func (c *Channel) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return Stats{
-		BeaconsSent: c.beaconsSent, BeaconsLost: c.beaconsLost,
-		ReportsSent: c.reportsSent, ReportsLost: c.reportsLost,
+		BeaconsSent: c.beaconsSent.Load(), BeaconsLost: c.beaconsLost.Load(),
+		ReportsSent: c.reportsSent.Load(), ReportsLost: c.reportsLost.Load(),
 	}
 }
 

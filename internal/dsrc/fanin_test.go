@@ -1,0 +1,88 @@
+package dsrc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentSendFanIn: the lossless Send path is lock-free; a storm
+// of concurrent senders must deliver every report exactly once and keep
+// the counters exact.
+func TestConcurrentSendFanIn(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	c, err := NewChannel(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Uint64
+	if err := c.AttachSink(func(Report) { delivered.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if err := c.Send(Report{Period: 1, Index: uint64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := delivered.Load(); got != workers*perW {
+		t.Errorf("delivered %d reports, want %d", got, workers*perW)
+	}
+	st := c.Stats()
+	if st.ReportsSent != workers*perW || st.ReportsLost != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentSendWithLoss: the lossy path serializes only the RNG
+// draw; counters must still balance exactly under concurrency.
+func TestConcurrentSendWithLoss(t *testing.T) {
+	const (
+		workers = 4
+		perW    = 2000
+	)
+	c, err := NewChannel(Config{ReportLoss: 0.3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Uint64
+	if err := c.AttachSink(func(Report) { delivered.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if err := c.Send(Report{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.ReportsSent != workers*perW {
+		t.Errorf("sent = %d, want %d", st.ReportsSent, workers*perW)
+	}
+	if st.ReportsLost+delivered.Load() != st.ReportsSent {
+		t.Errorf("lost %d + delivered %d != sent %d",
+			st.ReportsLost, delivered.Load(), st.ReportsSent)
+	}
+	if st.ReportsLost == 0 {
+		t.Error("no losses at 30% loss rate")
+	}
+}

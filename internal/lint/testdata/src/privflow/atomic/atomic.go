@@ -1,0 +1,37 @@
+// Package atomic covers the lock-free ingest path: the concurrent
+// Bitmap.AtomicSet carries the same //ptm:sink annotation as the plain
+// Set, so raw private state reaching it must flag exactly like the
+// sequential path, and the vhash.Index declassifier must clear it. This
+// fixture pins that the annotation survived the atomic rewrite — a sink
+// dropped in a refactor would silently blind the whole analysis.
+package atomic
+
+import (
+	"ptm/internal/bitmap"
+	"ptm/internal/vhash"
+)
+
+// rawID models a vehicle identifier that skipped the hash reduction.
+//
+//ptm:source raw vehicle id
+var rawID uint64 = 42
+
+// leakAtomic writes the raw identifier into the shared bitmap: same
+// finding as the sequential Set path.
+func leakAtomic(b *bitmap.Bitmap) {
+	b.AtomicSet(rawID) // want `private state \(raw vehicle id\) flows un-sanitized into bitmap write sink`
+}
+
+// leakSequential is the pre-existing path, kept here so the two arms of
+// the differential (atomic vs sequential ingest) stay pinned together.
+func leakSequential(b *bitmap.Bitmap) {
+	b.Set(rawID) // want `private state \(raw vehicle id\) flows un-sanitized into bitmap write sink`
+}
+
+// okSanitized passes through the Eq. (3) reduction — the declassifier —
+// before the atomic write; privflow must stay silent.
+func okSanitized(b *bitmap.Bitmap, id *vhash.Identity, loc vhash.LocationID) {
+	b.AtomicSet(id.Index(loc, b.Size()))
+}
+
+var cover = []any{leakAtomic, leakSequential, okSanitized}

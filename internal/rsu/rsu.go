@@ -3,12 +3,23 @@
 // signed beacons at preset intervals, folds incoming vehicle reports into
 // the bitmap, and at period end emits the traffic record for upload to the
 // central server. The RSU never stores any per-vehicle information.
+//
+// Concurrency contract: the report path is lock-free. The active period
+// lives behind an atomic.Pointer (RCU-style): handleReport loads the
+// pointer and ORs one bit into the bitmap atomically, never blocking on
+// other reports or on period rotation. StartPeriod/EndPeriod are the
+// writers — they serialize among themselves on a rotation mutex and swap
+// the pointer; EndPeriod additionally waits for in-flight reports to
+// drain, so the record it returns is quiescent and safe for plain reads
+// (marshaling, estimation) without further synchronization.
 package rsu
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ptm/internal/dsrc"
@@ -28,18 +39,37 @@ var (
 // Clock abstracts time for deterministic tests.
 type Clock func() time.Time
 
-// RSU is one road-side unit.
+// periodState is the RCU-published state of one measurement period. It is
+// immutable except for the bitmap contents and the counters, all of which
+// are written atomically.
+type periodState struct {
+	rec *record.Record
+	// seen counts reports folded into rec.
+	seen atomic.Uint64
+	// inflight counts handleReport calls currently writing into rec;
+	// EndPeriod waits for it to reach zero after unpublishing the state,
+	// which is the RCU grace period that makes rec quiescent.
+	inflight atomic.Int64
+}
+
+// RSU is one road-side unit. Beacon, Stats, and the report sink are safe
+// for unbounded concurrent use; StartPeriod/EndPeriod/StartPeriodAuto may
+// also be called concurrently (they serialize on an internal rotation
+// lock), though deployments typically drive rotation from one scheduler.
 type RSU struct {
 	cred  *pki.Credential
 	ch    *dsrc.Channel
 	f     float64
 	clock Clock
 
-	mu       sync.Mutex
-	cur      *record.Record
-	dropped  uint64 // reports received with no/mismatched active period
-	seen     uint64 // reports folded into the current record
-	lastSeen uint64 // reports in the most recently completed period
+	// rotateMu serializes period rotation (StartPeriod/EndPeriod). The
+	// report path never takes it.
+	rotateMu sync.Mutex
+
+	// cur is the RCU-published active period; nil between periods.
+	cur      atomic.Pointer[periodState]
+	dropped  atomic.Uint64 // reports received with no/mismatched active period
+	lastSeen atomic.Uint64 // reports in the most recently completed period
 }
 
 // New wires an RSU to its radio channel. f is the system-wide load factor
@@ -77,63 +107,83 @@ func (r *RSU) StartPeriod(p record.PeriodID, expectedVolume float64) error {
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cur != nil {
-		return fmt.Errorf("%w: period %d", ErrPeriodActive, r.cur.Period)
+	r.rotateMu.Lock()
+	defer r.rotateMu.Unlock()
+	if cur := r.cur.Load(); cur != nil {
+		return fmt.Errorf("%w: period %d", ErrPeriodActive, cur.rec.Period)
 	}
-	r.cur = rec
-	r.seen = 0
+	r.cur.Store(&periodState{rec: rec})
 	return nil
 }
 
 // Beacon broadcasts one signed beacon for the active period. Deployments
 // call this on a ticker ("once per second"); simulations call it once per
-// simulated vehicle wave.
+// simulated vehicle wave. Beacon never blocks report ingest.
 func (r *RSU) Beacon() error {
-	r.mu.Lock()
-	cur := r.cur
-	r.mu.Unlock()
+	cur := r.cur.Load()
 	if cur == nil {
 		return ErrNoPeriod
 	}
-	sig, err := r.cred.SignBeacon(r.cred.Location, cur.Size(), uint32(cur.Period))
+	sig, err := r.cred.SignBeacon(r.cred.Location, cur.rec.Size(), uint32(cur.rec.Period))
 	if err != nil {
 		return err
 	}
 	return r.ch.Broadcast(dsrc.Beacon{
 		Location: r.cred.Location,
-		M:        cur.Size(),
-		Period:   cur.Period,
+		M:        cur.rec.Size(),
+		Period:   cur.rec.Period,
 		CertDER:  r.cred.CertificateDER(),
 		Sig:      sig,
 	})
 }
 
-// handleReport folds one vehicle report into the active bitmap. Reports
-// for other periods (stale or clock-skewed vehicles) are dropped.
+// handleReport folds one vehicle report into the active bitmap without
+// taking any lock. Reports for other periods (stale or clock-skewed
+// vehicles) are dropped, as are reports that lose the race with period
+// rotation — indistinguishable, to the vehicle, from arriving a moment
+// later.
 func (r *RSU) handleReport(rep dsrc.Report) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cur == nil || rep.Period != r.cur.Period {
-		r.dropped++
+	st := r.cur.Load()
+	if st == nil {
+		r.dropped.Add(1)
 		return
 	}
-	r.cur.Bitmap.Set(rep.Index)
-	r.seen++
+	st.inflight.Add(1)
+	// Re-check after announcing ourselves: if rotation swapped the
+	// pointer between our load and the increment, EndPeriod may already
+	// have observed inflight == 0 and handed the record off, so we must
+	// not touch it. (If the re-check still sees st, the swap — and hence
+	// EndPeriod's drain — happens after our increment, and the drain
+	// waits for us.)
+	if r.cur.Load() != st || rep.Period != st.rec.Period {
+		st.inflight.Add(-1)
+		r.dropped.Add(1)
+		return
+	}
+	st.rec.Bitmap.AtomicSet(rep.Index)
+	st.seen.Add(1)
+	st.inflight.Add(-1)
 }
 
-// EndPeriod closes the active period and returns its traffic record.
+// EndPeriod closes the active period and returns its traffic record. It
+// unpublishes the period state, then waits for in-flight reports to
+// drain, so the returned record is immutable from the caller's point of
+// view.
 func (r *RSU) EndPeriod() (*record.Record, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cur == nil {
+	r.rotateMu.Lock()
+	defer r.rotateMu.Unlock()
+	st := r.cur.Swap(nil)
+	if st == nil {
 		return nil, ErrNoPeriod
 	}
-	rec := r.cur
-	r.cur = nil
-	r.lastSeen = r.seen
-	return rec, nil
+	// RCU grace period: every handler that incremented inflight before
+	// the swap finishes; handlers arriving after the swap drop without
+	// writing.
+	for st.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	r.lastSeen.Store(st.seen.Load())
+	return st.rec, nil
 }
 
 // ErrNoHistory is returned by StartPeriodAuto before any period has
@@ -147,9 +197,7 @@ var ErrNoHistory = errors.New("rsu: no completed period to derive an expected vo
 // and lost reports are simply uncounted), so the report count is itself
 // the previous period's volume measurement.
 func (r *RSU) StartPeriodAuto(p record.PeriodID) error {
-	r.mu.Lock()
-	last := r.lastSeen
-	r.mu.Unlock()
+	last := r.lastSeen.Load()
 	if last == 0 {
 		return ErrNoHistory
 	}
@@ -166,16 +214,18 @@ type Stats struct {
 	OnesFraction float64
 }
 
-// Stats returns current counters.
+// Stats returns current counters. It is safe to call while reports are
+// being folded concurrently; OnesFraction is then a live snapshot.
 func (r *RSU) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := Stats{ReportsSeen: r.seen, ReportsDrop: r.dropped}
-	if r.cur != nil {
+	s := Stats{ReportsDrop: r.dropped.Load()}
+	if st := r.cur.Load(); st != nil {
 		s.Active = true
-		s.Period = r.cur.Period
-		s.BitmapSize = r.cur.Size()
-		s.OnesFraction = r.cur.Bitmap.FractionOne()
+		s.Period = st.rec.Period
+		s.BitmapSize = st.rec.Size()
+		s.ReportsSeen = st.seen.Load()
+		s.OnesFraction = st.rec.Bitmap.AtomicFractionOne()
+	} else {
+		s.ReportsSeen = r.lastSeen.Load()
 	}
 	return s
 }

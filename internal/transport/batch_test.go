@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+func makeBatch(t testing.TB, n int) []*record.Record {
+	t.Helper()
+	recs := make([]*record.Record, n)
+	for i := range recs {
+		rec, err := record.New(42, record.PeriodID(i+1), 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Bitmap.Set(uint64(i))
+		recs[i] = rec
+	}
+	return recs
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	recs := makeBatch(t, 7)
+	payload, err := encodeUploadBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeUploadBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		want, err := recs[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, have) {
+			t.Errorf("record %d does not round-trip", i)
+		}
+	}
+}
+
+func TestBatchCodecErrors(t *testing.T) {
+	if _, err := encodeUploadBatch(nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("empty batch err = %v", err)
+	}
+	if _, err := encodeUploadBatch(make([]*record.Record, MaxBatchRecords+1)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversize batch err = %v", err)
+	}
+
+	recs := makeBatch(t, 3)
+	payload, err := encodeUploadBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix must be rejected, never panic.
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := decodeUploadBatch(payload[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage after a valid batch.
+	if _, err := decodeUploadBatch(append(append([]byte{}, payload...), 0xff)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("trailing bytes err = %v", err)
+	}
+	// A count that promises more records than the payload can hold must be
+	// rejected before allocation.
+	hostile := []byte{0xff, 0xff, 0x00, 0x00}
+	if _, err := decodeUploadBatch(hostile); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("hostile count err = %v", err)
+	}
+}
+
+func TestBatchResultCodec(t *testing.T) {
+	for _, r := range []batchResult{
+		{ok: true, accepted: 12},
+		{ok: false, accepted: 3, errMsg: "record 3/5: duplicate"},
+	} {
+		got, err := decodeBatchResult(r.encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r {
+			t.Errorf("batch result round trip: %+v vs %+v", got, r)
+		}
+	}
+	if _, err := decodeBatchResult([]byte{1}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short batch result err = %v", err)
+	}
+}
+
+func TestUploadBatchOverTCP(t *testing.T) {
+	store, client := newTestStack(t)
+	recs := makeBatch(t, 10)
+	accepted, err := client.UploadBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != len(recs) {
+		t.Errorf("accepted = %d, want %d", accepted, len(recs))
+	}
+	if got := store.Periods(42); len(got) != len(recs) {
+		t.Errorf("store holds %d periods, want %d", len(got), len(recs))
+	}
+}
+
+// TestUploadBatchPartialFailure: one duplicate inside a batch must not
+// discard the rest, and the connection stays usable afterwards.
+func TestUploadBatchPartialFailure(t *testing.T) {
+	store, client := newTestStack(t)
+	recs := makeBatch(t, 5)
+	if err := client.Upload(recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := client.UploadBatch(recs)
+	if !IsRemote(err) {
+		t.Fatalf("partial batch err = %v, want RemoteError", err)
+	}
+	if !strings.Contains(err.Error(), "record 2/5") {
+		t.Errorf("err text = %v", err)
+	}
+	if accepted != 4 {
+		t.Errorf("accepted = %d, want 4", accepted)
+	}
+	if got := store.Periods(42); len(got) != 5 {
+		t.Errorf("store holds %d periods, want 5", len(got))
+	}
+	// Still usable.
+	if _, err := client.QueryVolume(42, 1); err != nil {
+		t.Errorf("connection unusable after partial batch: %v", err)
+	}
+}
+
+// TestPipelinedUploads: many goroutines share one client; pipelining must
+// match every response to its caller (no cross-talk) and land every
+// record.
+func TestPipelinedUploads(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 25
+	)
+	store, client := newTestStack(t)
+	var wg sync.WaitGroup
+	// Interleave uploads and queries from many goroutines over the one
+	// shared connection.
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				rec, err := record.New(vhash.LocationID(100+g), record.PeriodID(i+1), 64)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rec.Bitmap.Set(uint64(g*perW + i))
+				if err := client.Upload(rec); err != nil {
+					t.Errorf("worker %d upload %d: %v", g, i, err)
+					return
+				}
+				if _, err := client.ListPeriods(vhash.LocationID(100 + g)); err != nil {
+					t.Errorf("worker %d list %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < workers; g++ {
+		if got := store.Periods(vhash.LocationID(100 + g)); len(got) != perW {
+			t.Errorf("location %d holds %d periods, want %d", 100+g, len(got), perW)
+		}
+	}
+}
+
+// TestClientCloseReleasesWaiters: Close must fail in-flight and
+// subsequent calls with ErrClientClosed instead of hanging.
+func TestClientCloseReleasesWaiters(t *testing.T) {
+	_, client := newTestStack(t)
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := record.New(1, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = client.Upload(rec)
+	if err == nil {
+		t.Fatal("upload on closed client succeeded")
+	}
+	if IsRemote(err) {
+		t.Errorf("closed-client err misclassified as remote: %v", err)
+	}
+}
+
+func TestUploadBatchEmptyRejectedClientSide(t *testing.T) {
+	_, client := newTestStack(t)
+	if _, err := client.UploadBatch(nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("empty batch err = %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -52,6 +53,92 @@ func BenchmarkUploadThroughput(b *testing.B) {
 		if err := client.Upload(rec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchRecords pre-builds n distinct small records (2^10 bits — a
+// low-volume period at Eq. 2's minimum sizes). Small payloads keep the
+// per-round-trip overhead dominant, which is exactly what the batched
+// and pipelined paths amortize; estimator-scale payload throughput is
+// covered by BenchmarkUploadThroughput.
+func benchRecords(b *testing.B, n int) []*record.Record {
+	b.Helper()
+	recs := make([]*record.Record, n)
+	for i := range recs {
+		rec, err := record.New(1, record.PeriodID(i+1), 1<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+// uploadBatchSize is the batch granularity for the batched/pipelined
+// upload benchmarks: an RSU draining a backlog of one record per period
+// over a day of 5-minute periods.
+const uploadBatchSize = 64
+
+// BenchmarkUploadSingle is the round-trip-per-record baseline: each
+// record costs one synchronous exchange on the wire.
+func BenchmarkUploadSingle(b *testing.B) {
+	store, client := benchStack(b)
+	recs := benchRecords(b, uploadBatchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rec := range recs {
+			if err := client.Upload(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		store.DropBefore(^record.PeriodID(0))
+		b.StartTimer()
+	}
+}
+
+// BenchmarkUploadBatched sends the same records as one UploadBatch frame:
+// one round trip amortized over the whole backlog.
+func BenchmarkUploadBatched(b *testing.B) {
+	store, client := benchStack(b)
+	recs := benchRecords(b, uploadBatchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.UploadBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		store.DropBefore(^record.PeriodID(0))
+		b.StartTimer()
+	}
+}
+
+// BenchmarkUploadPipelined issues the same records as concurrent single
+// uploads over one connection: pipelining overlaps the round trips even
+// without batching.
+func BenchmarkUploadPipelined(b *testing.B) {
+	store, client := benchStack(b)
+	recs := benchRecords(b, uploadBatchSize)
+	const workers = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := w; j < len(recs); j += workers {
+					if err := client.Upload(recs[j]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		store.DropBefore(^record.PeriodID(0))
+		b.StartTimer()
 	}
 }
 

@@ -14,14 +14,47 @@ import (
 	"ptm/internal/vhash"
 )
 
+// maxPipeline bounds the number of requests in flight on one connection;
+// senders beyond it queue on the pending channel, which is ordinary
+// backpressure.
+const maxPipeline = 128
+
+// ErrClientClosed is returned for requests issued (or still in flight)
+// after Close.
+var ErrClientClosed = errors.New("transport: client closed")
+
 // Client is an RSU- or operator-side connection to the central server.
-// It is safe for concurrent use; requests are serialized on the wire.
+// It is safe for concurrent use; requests are pipelined on the wire: each
+// call writes its frame under a short send lock and then waits for its
+// response, so many goroutines stream requests back-to-back over one
+// connection instead of convoying on a whole request/response exchange.
+// The server answers strictly in request order, so a background reader
+// matches responses to waiters FIFO. A transport failure (as opposed to
+// an application-level RemoteError) poisons the connection: every pending
+// and subsequent call fails, and the caller should redial.
 type Client struct {
 	conn net.Conn // set at construction, never reassigned
 
-	mu sync.Mutex // serializes whole request/response exchanges on the wire
-	br *bufio.Reader
-	bw *bufio.Writer
+	sendMu sync.Mutex // serializes frame writes and pending-queue pushes
+	bw     *bufio.Writer
+
+	errMu     sync.Mutex // guards brokenErr
+	brokenErr error      // sticky transport failure
+
+	pending   chan *pendingCall
+	quit      chan struct{}
+	closeOnce sync.Once
+}
+
+// pendingCall is one in-flight request awaiting its FIFO response.
+type pendingCall struct {
+	done chan callResult // buffered(1); the reader never blocks on it
+}
+
+type callResult struct {
+	t       MsgType
+	payload []byte
+	err     error
 }
 
 // RemoteError is an application-level failure reported by the server
@@ -53,30 +86,135 @@ func DialTLS(addr string, cfg *tls.Config, timeout time.Duration) (*Client, erro
 	return NewClient(conn), nil
 }
 
-// NewClient wraps an established connection (net.Pipe in tests).
+// NewClient wraps an established connection (net.Pipe in tests) and
+// starts the response reader.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(chan *pendingCall, maxPipeline),
+		quit:    make(chan struct{}),
+	}
+	//ptmlint:allow goroutinehygiene -- readLoop exits when Close closes c.quit and drains pending
+	go c.readLoop(bufio.NewReader(conn))
+	return c
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the underlying connection and releases every waiter.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.quit) })
+	return c.conn.Close()
+}
 
-// roundTrip sends one frame and reads the response, expecting wantType.
-func (c *Client) roundTrip(t MsgType, payload []byte, wantType MsgType) (result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// broken returns the sticky transport failure, if any.
+func (c *Client) broken() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.brokenErr
+}
+
+// setBroken records the first transport failure; later calls keep it.
+func (c *Client) setBroken(err error) error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.brokenErr == nil {
+		c.brokenErr = err
+	}
+	return c.brokenErr
+}
+
+// readLoop matches response frames to pending calls in FIFO order. After
+// a read failure it stays alive in a draining mode — every queued and
+// future call fails fast with the sticky error — until Close.
+func (c *Client) readLoop(br *bufio.Reader) {
+	for {
+		var call *pendingCall
+		select {
+		case call = <-c.pending:
+		case <-c.quit:
+			c.drainPending()
+			return
+		}
+		if err := c.broken(); err != nil {
+			call.done <- callResult{err: err}
+			continue
+		}
+		t, payload, err := ReadFrame(br)
+		if err != nil {
+			err = c.setBroken(fmt.Errorf("transport: reading response: %w", err))
+			call.done <- callResult{err: err}
+			continue
+		}
+		call.done <- callResult{t: t, payload: payload}
+	}
+}
+
+// drainPending fails everything still queued at Close. Calls enqueued
+// concurrently with the drain are released by their own quit select in
+// exchange.
+func (c *Client) drainPending() {
+	err := c.setBroken(ErrClientClosed)
+	for {
+		select {
+		case call := <-c.pending:
+			call.done <- callResult{err: err}
+		default:
+			return
+		}
+	}
+}
+
+// exchange writes one frame and waits for its FIFO-matched response,
+// expecting wantType.
+func (c *Client) exchange(t MsgType, payload []byte, wantType MsgType) ([]byte, error) {
+	call := &pendingCall{done: make(chan callResult, 1)}
+	c.sendMu.Lock()
+	if err := c.broken(); err != nil {
+		c.sendMu.Unlock()
+		return nil, err
+	}
 	if err := WriteFrame(c.bw, t, payload); err != nil {
-		return result{}, err
+		// A partial write desyncs the stream; poison the connection.
+		err = c.setBroken(err)
+		c.sendMu.Unlock()
+		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
-		return result{}, fmt.Errorf("transport: flushing request: %w", err)
+		err = c.setBroken(fmt.Errorf("transport: flushing request: %w", err))
+		c.sendMu.Unlock()
+		return nil, err
 	}
-	rt, resp, err := ReadFrame(c.br)
+	// Enqueue under the send lock so queue order matches wire order. The
+	// reader always drains pending (even in broken mode), so this cannot
+	// block indefinitely while the client is open.
+	select {
+	case c.pending <- call:
+	case <-c.quit:
+		c.sendMu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.sendMu.Unlock()
+
+	select {
+	case res := <-call.done:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.t != wantType {
+			return nil, fmt.Errorf("%w: response type %v, want %v", ErrBadFrame, res.t, wantType)
+		}
+		return res.payload, nil
+	case <-c.quit:
+		return nil, ErrClientClosed
+	}
+}
+
+// roundTrip sends one frame and reads the response, expecting wantType
+// and a result payload.
+func (c *Client) roundTrip(t MsgType, payload []byte, wantType MsgType) (result, error) {
+	resp, err := c.exchange(t, payload, wantType)
 	if err != nil {
-		return result{}, fmt.Errorf("transport: reading response: %w", err)
-	}
-	if rt != wantType {
-		return result{}, fmt.Errorf("%w: response type %v, want %v", ErrBadFrame, rt, wantType)
+		return result{}, err
 	}
 	res, err := decodeResult(resp)
 	if err != nil {
@@ -98,6 +236,32 @@ func (c *Client) Upload(rec *record.Record) error {
 	}
 	_, err = c.roundTrip(MsgUpload, blob, MsgUploadAck)
 	return err
+}
+
+// UploadBatch sends a batch of records in one frame — one round trip for
+// the whole batch instead of one per record — and returns how many the
+// server accepted. The server applies every record even when some fail;
+// per-record failures (e.g. one duplicate) surface as a *RemoteError
+// naming the first, with accepted still counting the rest.
+//
+//ptm:sink transport upload
+func (c *Client) UploadBatch(recs []*record.Record) (accepted int, err error) {
+	payload, err := encodeUploadBatch(recs)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.exchange(MsgUploadBatch, payload, MsgUploadBatchAck)
+	if err != nil {
+		return 0, err
+	}
+	res, err := decodeBatchResult(resp)
+	if err != nil {
+		return 0, err
+	}
+	if !res.ok {
+		return int(res.accepted), &RemoteError{Msg: res.errMsg}
+	}
+	return int(res.accepted), nil
 }
 
 // QueryVolume returns the Eq. (1) volume estimate for one period.
@@ -139,22 +303,7 @@ func (c *Client) QueryPointToPointPersistent(locA, locB vhash.LocationID, period
 // listRoundTrip sends a listing request and returns the raw response
 // payload after checking the response type.
 func (c *Client) listRoundTrip(t MsgType, payload []byte, wantType MsgType) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteFrame(c.bw, t, payload); err != nil {
-		return nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("transport: flushing request: %w", err)
-	}
-	rt, resp, err := ReadFrame(c.br)
-	if err != nil {
-		return nil, fmt.Errorf("transport: reading response: %w", err)
-	}
-	if rt != wantType {
-		return nil, fmt.Errorf("%w: response type %v, want %v", ErrBadFrame, rt, wantType)
-	}
-	return resp, nil
+	return c.exchange(t, payload, wantType)
 }
 
 // ListLocations returns all locations with stored records.

@@ -37,6 +37,13 @@ const (
 	MsgListPeriods
 	// MsgPeriods carries the period list (server -> client).
 	MsgPeriods
+	// MsgUploadBatch carries several length-prefixed marshaled records in
+	// one frame (RSU -> server), amortizing one round trip over the
+	// batch.
+	MsgUploadBatch
+	// MsgUploadBatchAck acknowledges a batch, reporting how many records
+	// were accepted and the first per-record failure, if any.
+	MsgUploadBatchAck
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +69,10 @@ func (t MsgType) String() string {
 		return "LIST_PERIODS"
 	case MsgPeriods:
 		return "PERIODS"
+	case MsgUploadBatch:
+		return "UPLOAD_BATCH"
+	case MsgUploadBatchAck:
+		return "UPLOAD_BATCH_ACK"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

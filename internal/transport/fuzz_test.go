@@ -62,6 +62,45 @@ func FuzzQueryDecoders(f *testing.F) {
 	})
 }
 
+// FuzzUploadBatch: the batch decoder must never panic or over-allocate
+// on hostile payloads, and accepted batches must re-encode to the same
+// bytes.
+func FuzzUploadBatch(f *testing.F) {
+	recA, err := record.New(1, 1, 64)
+	if err != nil {
+		f.Fatal(err)
+	}
+	recB, err := record.New(2, 7, 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	recB.Bitmap.Set(9)
+	seed, err := encodeUploadBatch([]*record.Record{recA, recB})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})             // absurd count
+	f.Add([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}) // absurd record length
+	f.Add(seed[:len(seed)-3])                         // truncated final record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := decodeUploadBatch(data)
+		if err != nil {
+			return
+		}
+		out, err := encodeUploadBatch(recs)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("accepted batch does not round-trip")
+		}
+		_, _ = decodeBatchResult(data)
+	})
+}
+
 // FuzzServerDispatch: the full server dispatch path must never panic on
 // arbitrary frames; it must always produce a well-formed response frame.
 func FuzzServerDispatch(f *testing.F) {

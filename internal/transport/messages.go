@@ -190,6 +190,104 @@ func decodePeriodList(b []byte) ([]record.PeriodID, error) {
 	return out, nil
 }
 
+// MaxBatchRecords bounds the record count in one UploadBatch frame. The
+// frame size cap (MaxFrameSize) already bounds the payload; this bounds
+// the per-record bookkeeping a hostile count could demand.
+const MaxBatchRecords = 1 << 16
+
+// encodeUploadBatch frames the records: uint32 count, then per record a
+// uint32 length and the record.MarshalBinary blob.
+//
+//ptm:sink transport upload
+func encodeUploadBatch(recs []*record.Record) ([]byte, error) {
+	if len(recs) == 0 || len(recs) > MaxBatchRecords {
+		return nil, fmt.Errorf("%w: batch of %d records", ErrBadFrame, len(recs))
+	}
+	buf := make([]byte, 4, 4+len(recs)*512)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(recs)))
+	for _, rec := range recs {
+		blob, err := rec.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
+		buf = append(buf, lenBuf[:]...)
+		buf = append(buf, blob...)
+	}
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("%w: batch payload %d bytes", ErrFrameTooLarge, len(buf))
+	}
+	return buf, nil
+}
+
+// decodeUploadBatch parses an UploadBatch payload. The count is validated
+// against the remaining bytes before any allocation so a hostile frame
+// cannot demand more memory than it paid for on the wire.
+func decodeUploadBatch(b []byte) ([]*record.Record, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: batch header %d bytes", ErrBadFrame, len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if n == 0 || n > MaxBatchRecords {
+		return nil, fmt.Errorf("%w: batch claims %d records", ErrBadFrame, n)
+	}
+	if len(b) < 4*n {
+		return nil, fmt.Errorf("%w: batch of %d records in %d bytes", ErrBadFrame, n, len(b))
+	}
+	recs := make([]*record.Record, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("%w: truncated before record %d", ErrBadFrame, i)
+		}
+		blen := int(binary.LittleEndian.Uint32(b[0:4]))
+		b = b[4:]
+		if blen > len(b) {
+			return nil, fmt.Errorf("%w: record %d claims %d bytes, %d remain", ErrBadFrame, i, blen, len(b))
+		}
+		rec, err := record.Unmarshal(b[:blen])
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFrame, i, err)
+		}
+		recs = append(recs, rec)
+		b = b[blen:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(b))
+	}
+	return recs, nil
+}
+
+// batchResult is the server's answer to an UploadBatch: how many records
+// were accepted and, when ok is false, the first per-record failure.
+type batchResult struct {
+	ok       bool
+	accepted uint32
+	errMsg   string
+}
+
+func (r batchResult) encode() []byte {
+	buf := make([]byte, 5+len(r.errMsg))
+	if r.ok {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[1:5], r.accepted)
+	copy(buf[5:], r.errMsg)
+	return buf
+}
+
+func decodeBatchResult(b []byte) (batchResult, error) {
+	if len(b) < 5 {
+		return batchResult{}, fmt.Errorf("%w: batch result length %d", ErrBadFrame, len(b))
+	}
+	return batchResult{
+		ok:       b[0] == 1,
+		accepted: binary.LittleEndian.Uint32(b[1:5]),
+		errMsg:   string(b[5:]),
+	}, nil
+}
+
 // result is the server's answer to any query or upload: a status byte, an
 // estimate (queries only), and an error string for application failures.
 type result struct {

@@ -158,6 +158,28 @@ func (s *Server) dispatch(t MsgType, payload []byte) (MsgType, []byte) {
 			return fail(MsgUploadAck, err)
 		}
 		return MsgUploadAck, result{ok: true}.encode()
+	case MsgUploadBatch:
+		recs, err := decodeUploadBatch(payload)
+		if err != nil {
+			return MsgUploadBatchAck, batchResult{ok: false, errMsg: err.Error()}.encode()
+		}
+		// Apply every record even when some fail: one duplicate must not
+		// discard the rest of an RSU's backlog.
+		var accepted uint32
+		var firstErr error
+		for i, rec := range recs {
+			if err := s.store.Ingest(rec); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("record %d/%d: %w", i, len(recs), err)
+				}
+				continue
+			}
+			accepted++
+		}
+		if firstErr != nil {
+			return MsgUploadBatchAck, batchResult{accepted: accepted, errMsg: firstErr.Error()}.encode()
+		}
+		return MsgUploadBatchAck, batchResult{ok: true, accepted: accepted}.encode()
 	case MsgQueryVolume:
 		q, err := decodeVolumeQuery(payload)
 		if err != nil {

@@ -44,12 +44,14 @@ fi
 step "go test -race ./..."
 go test -race ./...
 
-# Archive the committed benchmark baseline (regenerate with `make
-# bench-json`) next to the lint report so CI surfaces both.
-if [ -f BENCH_pr3.json ]; then
-	step "archiving BENCH_pr3.json -> $ARTIFACT_DIR/"
-	cp BENCH_pr3.json "$ARTIFACT_DIR/BENCH_pr3.json"
-fi
+# Archive the committed benchmark baselines (regenerate with `make
+# bench-json` / `make bench-ingest`) next to the lint report so CI
+# surfaces them all.
+for bench in BENCH_*.json; do
+	[ -f "$bench" ] || continue
+	step "archiving $bench -> $ARTIFACT_DIR/"
+	cp "$bench" "$ARTIFACT_DIR/$bench"
+done
 
 step "fuzz smoke ($FUZZTIME per target)"
 # Each fuzz target runs alone: `go test -fuzz` accepts a single match.
@@ -58,5 +60,7 @@ go test -run=NONE -fuzz='^FuzzFusedJoin$' -fuzztime="$FUZZTIME" ./internal/bitma
 go test -run=NONE -fuzz='^FuzzUnmarshal$' -fuzztime="$FUZZTIME" ./internal/record/
 go test -run=NONE -fuzz='^FuzzRoundTrip$' -fuzztime="$FUZZTIME" ./internal/record/
 go test -run=NONE -fuzz='^FuzzIndex$' -fuzztime="$FUZZTIME" ./internal/vhash/
+go test -run=NONE -fuzz='^FuzzReadFrame$' -fuzztime="$FUZZTIME" ./internal/transport/
+go test -run=NONE -fuzz='^FuzzUploadBatch$' -fuzztime="$FUZZTIME" ./internal/transport/
 
 step "all checks passed"
