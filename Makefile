@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench bench-json bench-ingest
+.PHONY: build test lint check bench bench-json bench-ingest bench-wal
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,15 @@ bench-ingest:
 		-benchmem -cpu=1,4,8 \
 		./internal/rsu/ ./internal/transport/ ./internal/central/ \
 		| $(GO) run ./cmd/benchjson > BENCH_pr4.json
+
+# bench-wal records the durability-plane baseline as BENCH_pr5.json: raw
+# append throughput per sync policy, fsync amortization under concurrent
+# appenders (group commit), and WAL-backed vs in-memory ingest — the
+# price of the Ack-means-durable promise against the PR 4 no-WAL
+# baseline. -cpu=1,4,8 shows group commit collapsing the fsync cost.
+bench-wal:
+	$(GO) test -run=NONE \
+		-bench='BenchmarkAppend(Serial|GroupCommit)|BenchmarkIngest(Memory|Durable)' \
+		-benchmem -cpu=1,4,8 \
+		./internal/wal/ ./internal/central/ \
+		| $(GO) run ./cmd/benchjson > BENCH_pr5.json

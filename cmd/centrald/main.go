@@ -7,6 +7,14 @@
 // exit; with -load, an existing snapshot is restored at startup. -http
 // exposes the read-only admin surface (/healthz, /stats, /locations,
 // /query/...).
+//
+// With -wal DIR the store is backed by a write-ahead log: every record
+// is on disk (per -sync) before its upload is acknowledged, the store
+// recovers from the newest checkpoint plus log replay at startup, and a
+// graceful shutdown flushes and checkpoints so the next boot replays
+// nothing. -checkpoint-every bounds replay length between compactions.
+// -wal and -load/-save are mutually exclusive — the WAL's own
+// checkpoints are the snapshots.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"ptm/internal/central"
 	"ptm/internal/transport"
+	"ptm/internal/wal"
 )
 
 func main() {
@@ -36,11 +45,14 @@ func main() {
 }
 
 type config struct {
-	listen   string
-	httpAddr string
-	s        int
-	load     string
-	save     string
+	listen    string
+	httpAddr  string
+	s         int
+	load      string
+	save      string
+	walDir    string
+	sync      string
+	ckptEvery int
 	// ready and httpReady, if non-nil, receive the bound addresses once
 	// serving — used by tests to synchronize.
 	ready     chan<- string
@@ -55,6 +67,9 @@ func parseFlags(args []string) config {
 	fs.IntVar(&cfg.s, "s", 3, "system-wide representative-bit count")
 	fs.StringVar(&cfg.load, "load", "", "snapshot file to restore at startup")
 	fs.StringVar(&cfg.save, "save", "", "snapshot file to write on shutdown")
+	fs.StringVar(&cfg.walDir, "wal", "", "write-ahead-log directory (empty: in-memory store)")
+	fs.StringVar(&cfg.sync, "sync", "always", "WAL sync policy: always, interval, never")
+	fs.IntVar(&cfg.ckptEvery, "checkpoint-every", 1024, "checkpoint the WAL every N ingested records (0: only at shutdown)")
 	//ptmlint:allow errdrop -- flag.ExitOnError exits the process on a parse failure
 	_ = fs.Parse(args)
 	return cfg
@@ -63,18 +78,42 @@ func parseFlags(args []string) config {
 // serve runs the daemon until a signal arrives on sigc or the listener
 // fails.
 func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
-	store, err := central.NewServer(cfg.s)
-	if err != nil {
-		return err
-	}
-	if cfg.load != "" {
-		if err := loadSnapshot(store, cfg.load); err != nil {
+	var (
+		store   *central.Server
+		durable *central.Durable
+		tstore  transport.Store
+	)
+	if cfg.walDir != "" {
+		if cfg.load != "" || cfg.save != "" {
+			return errors.New("-wal is exclusive with -load/-save: checkpoints are the snapshots")
+		}
+		policy, err := wal.ParseSyncPolicy(cfg.sync)
+		if err != nil {
 			return err
 		}
-		logger.Printf("restored %d locations from %s", len(store.Locations()), cfg.load)
+		durable, err = central.OpenDurable(cfg.walDir, cfg.s, central.DefaultShards, wal.Options{Sync: policy}, cfg.ckptEvery)
+		if err != nil {
+			return err
+		}
+		store, tstore = durable.Server, durable
+		st := durable.LogStats()
+		logger.Printf("recovered %d locations from %s (replayed %d log entries, truncated %d torn bytes)",
+			len(store.Locations()), cfg.walDir, st.Entries, st.TruncatedBytes)
+	} else {
+		var err error
+		if store, err = central.NewServer(cfg.s); err != nil {
+			return err
+		}
+		tstore = store
+		if cfg.load != "" {
+			if err := loadSnapshot(store, cfg.load); err != nil {
+				return err
+			}
+			logger.Printf("restored %d locations from %s", len(store.Locations()), cfg.load)
+		}
 	}
 
-	srv, err := transport.NewServer(store, logger)
+	srv, err := transport.NewServer(tstore, logger)
 	if err != nil {
 		return err
 	}
@@ -125,6 +164,23 @@ func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
 		}
 	}
 
+	if durable != nil {
+		// Graceful shutdown: flush whatever the sync policy left
+		// buffered, then checkpoint so the next boot loads one snapshot
+		// instead of replaying the whole log. A crash before either
+		// step still recovers — that is the WAL's job — this only makes
+		// the clean path fast.
+		if err := durable.Sync(); err != nil {
+			return fmt.Errorf("flushing wal: %w", err)
+		}
+		if err := durable.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpointing: %w", err)
+		}
+		if err := durable.Close(); err != nil {
+			return fmt.Errorf("closing wal: %w", err)
+		}
+		logger.Printf("wal flushed and checkpointed in %s", cfg.walDir)
+	}
 	if cfg.save != "" {
 		if err := saveSnapshot(store, cfg.save); err != nil {
 			return err

@@ -10,6 +10,13 @@
 // (make bench-ingest): one command that exercises atomic bitmap writes,
 // RCU period rotation, sharded central ingest, and batched transport
 // together and prints the achieved rates.
+//
+// With -wal DIR the in-process store is WAL-backed (-sync selects the
+// policy), so the upload rate includes the durability plane's cost —
+// that delta is the table in EXPERIMENTS.md §WAL. With -central ADDR the
+// records go to an external centrald instead of an in-process server,
+// which is how the crash-recovery smoke (scripts/crashsmoke.sh) drives a
+// real daemon it can kill.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"ptm/internal/rsu"
 	"ptm/internal/transport"
 	"ptm/internal/vhash"
+	"ptm/internal/wal"
 )
 
 func main() {
@@ -49,6 +57,9 @@ func run(args []string, out io.Writer) error {
 		shards  = fs.Int("shards", central.DefaultShards, "central store shard count (power of two)")
 		f       = fs.Float64("f", 2.0, "bitmap load factor (Eq. 2)")
 		s       = fs.Int("s", 3, "representative bits per vehicle")
+		cAddr   = fs.String("central", "", "external central server address (default: in-process server)")
+		walDir  = fs.String("wal", "", "WAL directory for the in-process store (default: memory only)")
+		syncPol = fs.String("sync", "always", "WAL sync policy for -wal: always, interval, never")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,31 +89,57 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	// Central stack on TCP loopback.
-	store, err := central.NewServerSharded(*s, *shards)
-	if err != nil {
-		return err
+	// Central stack: an external daemon (-central), or an in-process
+	// server on TCP loopback, optionally WAL-backed (-wal).
+	var store *central.Server
+	var durable *central.Durable
+	addr := *cAddr
+	if addr == "" {
+		var tstore transport.Store
+		if *walDir != "" {
+			policy, err := wal.ParseSyncPolicy(*syncPol)
+			if err != nil {
+				return err
+			}
+			durable, err = central.OpenDurable(*walDir, *s, *shards, wal.Options{Sync: policy}, 0)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				//ptmlint:allow errdrop -- best-effort teardown at process exit
+				_ = durable.Close()
+			}()
+			store, tstore = durable.Server, durable
+		} else {
+			if store, err = central.NewServerSharded(*s, *shards); err != nil {
+				return err
+			}
+			tstore = store
+		}
+		srv, err := transport.NewServer(tstore, nil)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		serveDone := make(chan struct{})
+		go func() {
+			//ptmlint:allow errdrop -- Serve exits via the deferred Close; its error is that Close
+			_ = srv.Serve(ln)
+			serveDone <- struct{}{}
+		}()
+		defer func() {
+			//ptmlint:allow errdrop -- best-effort teardown at process exit
+			_ = srv.Close()
+			<-serveDone
+		}()
+		addr = ln.Addr().String()
+	} else if *walDir != "" {
+		return fmt.Errorf("-wal configures the in-process store; it cannot apply to an external -central server")
 	}
-	srv, err := transport.NewServer(store, nil)
-	if err != nil {
-		return err
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	serveDone := make(chan struct{})
-	go func() {
-		//ptmlint:allow errdrop -- Serve exits via the deferred Close; its error is that Close
-		_ = srv.Serve(ln)
-		serveDone <- struct{}{}
-	}()
-	defer func() {
-		//ptmlint:allow errdrop -- best-effort teardown at process exit
-		_ = srv.Close()
-		<-serveDone
-	}()
-	client, err := transport.Dial(ln.Addr().String(), 5*time.Second)
+	client, err := transport.Dial(addr, 5*time.Second)
 	if err != nil {
 		return err
 	}
@@ -186,7 +223,6 @@ func run(args []string, out io.Writer) error {
 	}
 
 	sent := *nRSUs * *workers * perWorker * *periods
-	st := store.Stats()
 	pr := cli.NewPrinter(out)
 	pr.Printf("ingest storm: %d reports through %d RSUs x %d workers in %v (%.0f reports/sec)\n",
 		sent, *nRSUs, *workers, stormTotal.Round(time.Millisecond),
@@ -198,7 +234,31 @@ func run(args []string, out io.Writer) error {
 	pr.Printf("upload (%s): %d records in %d round trips over %v (%.0f records/sec)\n",
 		mode, recordsUploaded, roundTrips, uploadTotal.Round(time.Millisecond),
 		float64(recordsUploaded)/uploadTotal.Seconds())
-	pr.Printf("central store: %d locations, %d records, %d shards\n",
-		st.Locations, st.Records, store.Shards())
+	if store != nil {
+		st := store.Stats()
+		pr.Printf("central store: %d locations, %d records, %d shards\n",
+			st.Locations, st.Records, store.Shards())
+	} else {
+		// External daemon: census over the wire.
+		locs, err := client.ListLocations()
+		if err != nil {
+			return fmt.Errorf("listing locations: %w", err)
+		}
+		n := 0
+		for _, loc := range locs {
+			ps, err := client.ListPeriods(loc)
+			if err != nil {
+				return fmt.Errorf("listing periods at %d: %w", loc, err)
+			}
+			n += len(ps)
+		}
+		pr.Printf("central store (remote %s): %d locations, %d records\n", *cAddr, len(locs), n)
+	}
+	if durable != nil {
+		lst := durable.LogStats()
+		pr.Printf("wal (%s): %d appends, %d fsyncs (%.2f syncs/append), %d rotations\n",
+			*syncPol, lst.Appends, lst.Syncs,
+			float64(lst.Syncs)/float64(max(lst.Appends, 1)), lst.Rotations)
+	}
 	return pr.Err()
 }

@@ -8,6 +8,12 @@
 //
 // The persistent fleet re-appears every period (the ground truth for point
 // persistent traffic, printed at exit); transients are fresh each period.
+//
+// With -spool DIR the RSU stores and forwards: a record whose upload
+// fails is appended to an on-disk log instead of aborting the run, and a
+// drainer retries delivery (redialing per attempt, capped exponential
+// backoff) at startup and after the last period. Spooled records survive
+// rsud restarts.
 package main
 
 import (
@@ -48,6 +54,10 @@ func run(args []string, out io.Writer) error {
 		f           = fs.Float64("f", 2.0, "bitmap load factor (Eq. 2)")
 		s           = fs.Int("s", 3, "representative bits per vehicle")
 		seed        = fs.Uint64("seed", 1, "RNG seed")
+		spoolDir    = fs.String("spool", "", "store-and-forward directory (empty: fail on upload error)")
+		pace        = fs.Duration("pace", 0, "delay between periods (lets operators watch or kill mid-run)")
+		drainTries  = fs.Int("drain-attempts", 0, "spool drain attempts per drain (0: default)")
+		drainBase   = fs.Duration("drain-base", 0, "first spool-drain backoff delay (0: default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,11 +81,30 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	client, err := transport.Dial(*centralAddr, 5*time.Second)
-	if err != nil {
+	up := &uploader{addr: *centralAddr}
+	defer up.close()
+
+	var spool *rsu.Spool
+	backoff := rsu.Backoff{Attempts: *drainTries, Base: *drainBase}
+	if *spoolDir != "" {
+		if spool, err = rsu.OpenSpool(*spoolDir); err != nil {
+			return err
+		}
+		defer spool.Close()
+		// Deliver anything a previous run left behind before adding to it.
+		if spool.Pending() > 0 {
+			n, err := spool.DrainWithRetry(up.sendBatch, backoff)
+			if err != nil {
+				logger.Printf("startup drain: %d delivered, %d still spooled: %v", n, spool.Pending(), err)
+			} else if n > 0 {
+				logger.Printf("startup drain: delivered %d spooled records", n)
+			}
+		}
+	} else if _, err := up.get(); err != nil {
+		// No spool: keep the old fail-fast contract, including refusing
+		// to start when the central server is unreachable.
 		return err
 	}
-	defer client.Close()
 
 	newVehicle := func(id vhash.VehicleID) (*vehicle.Vehicle, error) {
 		ident, err := vhash.NewSeededIdentity(id, *s, *seed)
@@ -134,11 +163,32 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := client.Upload(rec); err != nil {
-			return fmt.Errorf("uploading period %d: %w", p, err)
+		disposition := "uploaded"
+		if err := up.upload(rec); err != nil {
+			if spool == nil || transport.IsRemote(err) {
+				// Application-level rejections (duplicate, bad record)
+				// would fail identically on redelivery; only transport
+				// failures are worth spooling.
+				return fmt.Errorf("uploading period %d: %w", p, err)
+			}
+			logger.Printf("period %d: upload failed (%v); spooling", p, err)
+			if err := spool.Enqueue(rec); err != nil {
+				return err
+			}
+			disposition = "spooled"
 		}
-		logger.Printf("period %d: m=%d reports=%d ones=%.3f uploaded",
-			p, rec.Size(), st.ReportsSeen, rec.Bitmap.FractionOne())
+		logger.Printf("period %d: m=%d reports=%d ones=%.3f %s",
+			p, rec.Size(), st.ReportsSeen, rec.Bitmap.FractionOne(), disposition)
+		if *pace > 0 && p < *periods {
+			time.Sleep(*pace)
+		}
+	}
+	drained := 0
+	if spool != nil && spool.Pending() > 0 {
+		if drained, err = spool.DrainWithRetry(up.sendBatch, backoff); err != nil {
+			return fmt.Errorf("draining spool: %w (%d records still spooled)", err, spool.Pending())
+		}
+		logger.Printf("drained %d spooled records", drained)
 	}
 	chStats := ch.Stats()
 	logger.Printf("done: %d periods, beacon loss %d/%d, ground-truth persistent fleet = %d",
@@ -146,4 +196,68 @@ func run(args []string, out io.Writer) error {
 	p := cli.NewPrinter(out)
 	p.Printf("location %d: uploaded %d periods; true persistent volume %d\n", *loc, *periods, *fleet)
 	return p.Err()
+}
+
+// uploader lazily dials the central server and redials after a transport
+// failure, so every spool-drain attempt starts on a fresh connection
+// instead of a poisoned one.
+type uploader struct {
+	addr   string
+	client *transport.Client
+}
+
+// get returns a live client, dialing if needed.
+func (u *uploader) get() (*transport.Client, error) {
+	if u.client == nil {
+		c, err := transport.Dial(u.addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		u.client = c
+	}
+	return u.client, nil
+}
+
+// fail discards the connection after a transport error; the next get
+// redials.
+func (u *uploader) fail() {
+	if u.client != nil {
+		//ptmlint:allow errdrop -- the connection is already broken; close is cleanup
+		_ = u.client.Close()
+		u.client = nil
+	}
+}
+
+func (u *uploader) upload(rec *record.Record) error {
+	c, err := u.get()
+	if err != nil {
+		return err
+	}
+	if err := c.Upload(rec); err != nil {
+		if !transport.IsRemote(err) {
+			u.fail()
+		}
+		return err
+	}
+	return nil
+}
+
+// sendBatch is the spool drainer's delivery function.
+func (u *uploader) sendBatch(recs []*record.Record) (int, error) {
+	c, err := u.get()
+	if err != nil {
+		return 0, err
+	}
+	n, err := c.UploadBatch(recs)
+	if err != nil && !transport.IsRemote(err) {
+		u.fail()
+	}
+	return n, err
+}
+
+func (u *uploader) close() {
+	if u.client != nil {
+		//ptmlint:allow errdrop -- process exit path; nothing to do about a close error
+		_ = u.client.Close()
+	}
 }

@@ -54,6 +54,68 @@ func TestRSUDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRSUDaemonSpoolAcrossOutage: with -spool, a run against a dead
+// central server keeps its records on disk, and a later run (central
+// back up) delivers them before its own periods.
+func TestRSUDaemonSpoolAcrossOutage(t *testing.T) {
+	spoolDir := t.TempDir()
+
+	// Phase 1: nothing listening. The run must survive the outage,
+	// spool every period, and report the failed final drain.
+	var buf bytes.Buffer
+	err := run([]string{
+		"-central", "127.0.0.1:1",
+		"-loc", "3",
+		"-periods", "2",
+		"-fleet", "40",
+		"-transients", "100",
+		"-spool", spoolDir,
+		"-drain-attempts", "1",
+		"-drain-base", "1ms",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "draining spool") {
+		t.Fatalf("outage run err = %v, want a drain failure", err)
+	}
+
+	// Phase 2: central is up. A fresh run on the same spool dir drains
+	// the outage's records at startup, then uploads its own.
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	buf.Reset()
+	err = run([]string{
+		"-central", ln.Addr().String(),
+		"-loc", "4",
+		"-periods", "1",
+		"-fleet", "40",
+		"-transients", "100",
+		"-spool", spoolDir,
+		"-drain-attempts", "2",
+		"-drain-base", "1ms",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Periods(3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("spooled periods at loc 3 = %v, want [1 2]", got)
+	}
+	if got := store.Periods(4); len(got) != 1 {
+		t.Fatalf("live periods at loc 4 = %v, want [1]", got)
+	}
+}
+
 func TestRSUDaemonErrors(t *testing.T) {
 	var buf bytes.Buffer
 	// No server listening.

@@ -14,6 +14,7 @@ import (
 	"ptm/internal/transport"
 	"ptm/internal/trips"
 	"ptm/internal/vehicle"
+	"ptm/internal/wal"
 )
 
 // Deployment components: the full measurement system of Section II, from
@@ -37,10 +38,33 @@ type (
 	// CentralServer stores records and answers persistent-traffic
 	// queries.
 	CentralServer = central.Server
-	// TransportServer exposes a CentralServer over TCP.
+	// DurableCentralServer is a CentralServer backed by a write-ahead
+	// log: every ingested record is on disk before the upload is
+	// acknowledged, and the store recovers after a crash.
+	DurableCentralServer = central.Durable
+	// CentralStore is the record-store interface a TransportServer
+	// fronts; both *CentralServer and *DurableCentralServer satisfy it.
+	CentralStore = transport.Store
+	// TransportServer exposes a CentralStore over TCP.
 	TransportServer = transport.Server
 	// Client is a TCP client for record upload and queries.
 	Client = transport.Client
+	// WALOptions tunes the durability plane's segmented log (sync
+	// policy, segment size, flush interval).
+	WALOptions = wal.Options
+	// SyncPolicy selects when appends reach stable storage.
+	SyncPolicy = wal.SyncPolicy
+)
+
+// Write-ahead-log sync policies, re-exported for deployments.
+const (
+	// SyncAlways fsyncs (group-committed) before the Ack: an
+	// acknowledged record survives power loss.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a timer: bounded loss, bounded latency.
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves flushing to the OS.
+	SyncNever = wal.SyncNever
 )
 
 // ErrServerClosed is returned by TransportServer.Serve after Close; use
@@ -85,9 +109,18 @@ func NewCentralServerSharded(s, shards int) (*CentralServer, error) {
 	return central.NewServerSharded(s, shards)
 }
 
-// NewTransportServer exposes a central store over the wire protocol;
-// logger may be nil.
-func NewTransportServer(store *CentralServer, logger *log.Logger) (*TransportServer, error) {
+// OpenDurableCentralServer opens a WAL-backed record store rooted at
+// dir, recovering any previous contents (newest checkpoint plus newer
+// log segments). checkpointEvery > 0 compacts the log automatically
+// after that many ingested records; 0 compacts only on explicit
+// Checkpoint calls.
+func OpenDurableCentralServer(dir string, s, shards int, opts WALOptions, checkpointEvery int) (*DurableCentralServer, error) {
+	return central.OpenDurable(dir, s, shards, opts, checkpointEvery)
+}
+
+// NewTransportServer exposes a record store (in-memory or durable) over
+// the wire protocol; logger may be nil.
+func NewTransportServer(store CentralStore, logger *log.Logger) (*TransportServer, error) {
 	return transport.NewServer(store, logger)
 }
 

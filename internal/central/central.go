@@ -19,6 +19,7 @@ package central
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -342,6 +343,7 @@ func (s *Server) LoadFrom(r io.Reader) error {
 		return fmt.Errorf("central: unsupported snapshot version %d", hdr[4])
 	}
 	count := binary.LittleEndian.Uint32(hdr[8:12])
+	var blob bytes.Buffer
 	for i := uint32(0); i < count; i++ {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
@@ -351,11 +353,15 @@ func (s *Server) LoadFrom(r io.Reader) error {
 		if n > 1<<28 {
 			return fmt.Errorf("central: record %d implausibly large (%d bytes)", i, n)
 		}
-		blob := make([]byte, n)
-		if _, err := io.ReadFull(br, blob); err != nil {
+		// Copy incrementally rather than allocating n bytes up front: the
+		// length prefix is attacker-controlled (a corrupt or hostile
+		// snapshot), and a lying prefix must fail at the truncation
+		// point, not after a 256 MiB allocation.
+		blob.Reset()
+		if _, err := io.CopyN(&blob, br, int64(n)); err != nil {
 			return fmt.Errorf("central: reading record %d: %w", i, err)
 		}
-		rec, err := record.Unmarshal(blob)
+		rec, err := record.Unmarshal(blob.Bytes())
 		if err != nil {
 			return fmt.Errorf("central: decoding record %d: %w", i, err)
 		}

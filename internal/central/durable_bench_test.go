@@ -1,0 +1,95 @@
+package central
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+	"ptm/internal/wal"
+)
+
+// The durable/memory pair quantifies the ingest-plane cost of the
+// durability promise per sync policy — the EXPERIMENTS.md §WAL table.
+// Run via `make bench-wal`; the committed baseline is BENCH_pr5.json.
+
+// benchRecords pre-builds b.N distinct records so the measured loop is
+// pure Ingest (marshalling is charged to both stores identically).
+func benchRecords(b *testing.B) []*record.Record {
+	b.Helper()
+	recs := make([]*record.Record, b.N)
+	for i := range recs {
+		rec, err := record.New(vhash.LocationID(i%1024+1), record.PeriodID(i/1024+1), 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec.Bitmap.Set(uint64(i) % 256)
+		recs[i] = rec
+	}
+	return recs
+}
+
+func BenchmarkIngestMemory(b *testing.B) {
+	srv, err := NewServerSharded(3, DefaultShards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := benchRecords(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.Ingest(recs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIngestDurable(b *testing.B) {
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNever} {
+		b.Run(fmt.Sprintf("sync=%v", policy), func(b *testing.B) {
+			d, err := OpenDurable(b.TempDir(), 3, DefaultShards, wal.Options{Sync: policy}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			recs := benchRecords(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Ingest(recs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngestDurableParallel is the group-commit story at the store
+// level: concurrent uploaders under SyncAlways share fsyncs, so
+// per-record latency falls as parallelism rises (-cpu=1,4,8).
+func BenchmarkIngestDurableParallel(b *testing.B) {
+	d, err := OpenDurable(b.TempDir(), 3, DefaultShards, wal.Options{Sync: wal.SyncAlways}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	var next int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&next, 1)
+			rec, err := record.New(vhash.LocationID(i%1024+1), record.PeriodID(i/1024+1), 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.Bitmap.Set(uint64(i) % 256)
+			if err := d.Ingest(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := d.LogStats()
+	if st.Appends > 0 {
+		b.ReportMetric(float64(st.Syncs)/float64(st.Appends), "syncs/append")
+	}
+}

@@ -1,0 +1,358 @@
+package central
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"ptm/internal/record"
+	"ptm/internal/synth"
+	"ptm/internal/vhash"
+	"ptm/internal/wal"
+)
+
+// walSegments lists the .wal segment files in dir, sorted by name (and
+// therefore by segment index: names are zero-padded).
+func walSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			segs = append(segs, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// truncateBy chops n bytes off the end of path, simulating a crash that
+// left a torn tail.
+func truncateBy(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// pairRecords builds a realistic two-location workload as a flat record
+// list (deterministic: same seed, same bytes).
+func pairRecords(t *testing.T) []*record.Record {
+	t.Helper()
+	g, err := synth.NewGenerator(11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := g.Pair(synth.PairConfig{
+		LocA: 7, LocB: 8,
+		VolumesA: []int{4000, 4500, 4200, 4800, 4100},
+		VolumesB: []int{9000, 9500, 9200, 9800, 9100},
+		NCommon:  800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*record.Record
+	for _, set := range []*record.Set{pair.SetA, pair.SetB} {
+		for i, b := range set.Bitmaps() {
+			recs = append(recs, &record.Record{
+				Location: set.Location(), Period: set.Periods()[i], Bitmap: b,
+			})
+		}
+	}
+	return recs
+}
+
+// snapshotBytes serializes a store for bit-identity comparison.
+func snapshotBytes(t *testing.T, s *Server) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// estimates evaluates every estimator the transport exposes, for exact
+// comparison between stores.
+func estimates(t *testing.T, s *Server) []float64 {
+	t.Helper()
+	periods := []record.PeriodID{1, 2, 3, 4, 5}
+	vol, err := s.Volume(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := s.PointPersistent(7, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2p, err := s.PointToPointPersistent(7, 8, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := s.ODVolume(7, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []float64{vol, pp.Estimate, p2p.Estimate, od}
+}
+
+func openDurable(t *testing.T, dir string, every int) *Durable {
+	t.Helper()
+	d, err := OpenDurable(dir, 3, DefaultShards, wal.Options{Sync: wal.SyncAlways, SegmentSize: 1 << 16}, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDurableDifferential is the core bit-identity proof: ingesting
+// through the WAL, crashing (abandoning the open handles), and
+// recovering must yield a store whose snapshot bytes AND estimator
+// outputs exactly equal the plain in-memory server fed the same
+// records.
+func TestDurableDifferential(t *testing.T) {
+	recs := pairRecords(t)
+
+	mem := newServer(t)
+	for _, r := range recs {
+		if err := mem.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	d := openDurable(t, dir, 0)
+	for _, r := range recs {
+		if err := d.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Live durable store matches memory bit for bit.
+	wantSnap, wantEst := snapshotBytes(t, mem), estimates(t, mem)
+	if got := snapshotBytes(t, d.Server); !bytes.Equal(got, wantSnap) {
+		t.Fatal("durable snapshot differs from in-memory snapshot")
+	}
+
+	// "Crash": reopen the directory without closing; recovery replays
+	// the log from scratch.
+	recovered := openDurable(t, dir, 0)
+	defer recovered.Close()
+	if got := snapshotBytes(t, recovered.Server); !bytes.Equal(got, wantSnap) {
+		t.Fatal("recovered snapshot differs from never-crashed snapshot")
+	}
+	gotEst := estimates(t, recovered.Server)
+	for i := range wantEst {
+		if gotEst[i] != wantEst[i] {
+			t.Fatalf("estimator %d: recovered %v, want bit-identical %v", i, gotEst[i], wantEst[i])
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCheckpointRecovery: recovery through a checkpoint (plus
+// newer segments) is equally bit-identical, and compaction actually
+// dropped covered segments.
+func TestDurableCheckpointRecovery(t *testing.T) {
+	recs := pairRecords(t)
+	mem := newServer(t)
+	for _, r := range recs {
+		if err := mem.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	d := openDurable(t, dir, 0)
+	half := len(recs) / 2
+	for _, r := range recs[:half] {
+		if err := d.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[half:] {
+		if err := d.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preCrash := d.LogStats()
+	if preCrash.Entries != 0 {
+		// Entries counts what was on disk at Open; this run started
+		// empty.
+		t.Fatalf("unexpected pre-existing entries: %+v", preCrash)
+	}
+
+	recovered := openDurable(t, dir, 0)
+	defer recovered.Close()
+	if got, want := snapshotBytes(t, recovered.Server), snapshotBytes(t, mem); !bytes.Equal(got, want) {
+		t.Fatal("checkpoint+replay recovery differs from in-memory store")
+	}
+	// The recovered log must hold fewer entries than were ingested:
+	// the checkpoint swallowed the first half.
+	if st := recovered.LogStats(); st.Entries >= int64(len(recs)) {
+		t.Fatalf("log still holds %d entries after checkpoint of %d records", st.Entries, len(recs))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableAutoCheckpoint: checkpointEvery compacts without being
+// asked and the store stays correct across recovery.
+func TestDurableAutoCheckpoint(t *testing.T) {
+	recs := pairRecords(t)
+	dir := t.TempDir()
+	d := openDurable(t, dir, 3) // compact every 3 ingests
+	for _, r := range recs {
+		if err := d.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := openDurable(t, dir, 3)
+	defer recovered.Close()
+	if got := len(recovered.Locations()); got != 2 {
+		t.Fatalf("recovered %d locations, want 2", got)
+	}
+	st := recovered.Stats()
+	if st.Records != len(recs) {
+		t.Fatalf("recovered %d records, want %d", st.Records, len(recs))
+	}
+}
+
+// TestDurableDuplicateHandling: duplicates are rejected before ever
+// touching the log, and replayed duplicates (same record logged twice
+// around a checkpoint) do not break recovery.
+func TestDurableDuplicateHandling(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, 0)
+	rec := mustRecord(t, 5, 1, 128)
+	rec.Bitmap.Set(17)
+	if err := d.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	appends := d.LogStats().Appends
+	if err := d.Ingest(mustRecord(t, 5, 1, 128)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate ingest err = %v", err)
+	}
+	if got := d.LogStats().Appends; got != appends {
+		t.Fatalf("duplicate reached the log: %d appends, want %d", got, appends)
+	}
+	if err := d.Ingest(nil); !errors.Is(err, record.ErrNilBitmap) {
+		t.Fatalf("nil ingest err = %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableConcurrentIngest exercises the WAL group commit under the
+// race detector with many uploading goroutines, then proves recovery.
+func TestDurableConcurrentIngest(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, 0)
+	const workers, per = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec, err := record.New(vhash.LocationID(w+1), record.PeriodID(i+1), 256)
+				if err != nil {
+					errs <- err
+					return
+				}
+				rec.Bitmap.Set(uint64(w*per + i))
+				if err := d.Ingest(rec); err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, d.Server)
+
+	recovered := openDurable(t, dir, 0)
+	defer recovered.Close()
+	if got := snapshotBytes(t, recovered.Server); !bytes.Equal(got, want) {
+		t.Fatal("recovery after concurrent ingest differs")
+	}
+	if st := recovered.Stats(); st.Records != workers*per {
+		t.Fatalf("recovered %d records, want %d", st.Records, workers*per)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableTornTailPrefix: cut the tail segment at an arbitrary point
+// (a kill -9 mid-append) and require the recovered store to be a
+// prefix-consistent subset: every record the cut spared is present and
+// none are mangled.
+func TestDurableTornTailPrefix(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, 0)
+	var recs []*record.Record
+	for i := 0; i < 10; i++ {
+		rec := mustRecord(t, 3, record.PeriodID(i+1), 128)
+		rec.Bitmap.Set(uint64(i))
+		recs = append(recs, rec)
+		if err := d.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon d (crash) and bite 100 bytes off the log tail.
+	segs, err := walSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	tail := segs[len(segs)-1]
+	if err := truncateBy(tail, 100); err != nil {
+		t.Fatal(err)
+	}
+	recovered := openDurable(t, dir, 0)
+	defer recovered.Close()
+	got := recovered.Periods(3)
+	if len(got) == 0 || len(got) >= 10 {
+		t.Fatalf("torn tail recovered %d periods, want a strict non-empty prefix", len(got))
+	}
+	for i, p := range got {
+		if p != record.PeriodID(i+1) {
+			t.Fatalf("recovered periods %v are not a prefix", got)
+		}
+		if _, ok := recovered.lookup(3, p); !ok {
+			t.Fatalf("period %d listed but not stored", p)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,6 +76,7 @@ func TestGolden(t *testing.T) {
 		{name: "privflow-closure", dir: "privflow/closure", analyzer: Privflow()},
 		{name: "privflow-builtin", dir: "privflow/builtin", analyzer: Privflow()},
 		{name: "privflow-atomic", dir: "privflow/atomic", analyzer: Privflow()},
+		{name: "privflow-wal", dir: "privflow/wal", analyzer: Privflow()},
 		{name: "privflow-sanitized", dir: "privflow/sanitized",
 			analyzer: Privflow(), wantNone: true},
 		{name: "stale-directive", dir: "staletest", analyzer: ErrDrop(), audit: true},

@@ -1,0 +1,54 @@
+// Package wal pins the durability plane's privacy contract: raw vehicle
+// identity must never reach the write-ahead log. A WAL entry outlives
+// the in-memory store — it sits on disk across restarts and lands in
+// checkpoints — so an identity leak here is persistent, not transient.
+// Only the Index-sanitized representative bits may be framed and
+// appended, mirroring how internal/central logs record blobs.
+package wal
+
+import (
+	"ptm/internal/vhash"
+)
+
+// rawID is a vehicle's private identity, as the paper's threat model
+// defines it.
+//
+//ptm:source raw vehicle id
+var rawID uint64 = 0xdeadbeef
+
+// Log models internal/wal.Log.
+type Log struct{}
+
+// Append models the durable append; the payload is written to disk
+// verbatim.
+//
+//ptm:sink wal append
+func (l *Log) Append(payload []byte) error { return nil }
+
+// frame encodes a value the way the ingest path frames record blobs;
+// taint must ride through the summary (parameter → composite literal →
+// result).
+func frame(v uint64) []byte {
+	return []byte{
+		byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+		byte(v >> 32), byte(v >> 40), byte(v >> 48), byte(v >> 56),
+	}
+}
+
+// leakIdentity logs the raw identity: the exact bug the fixture exists
+// to catch.
+func leakIdentity(l *Log) {
+	_ = l.Append(frame(rawID)) // want `private state \(raw vehicle id\) flows un-sanitized into wal append sink`
+}
+
+// logSanitized logs the Index-reduced representative value — the
+// declassified form every real WAL entry carries — and must not fire.
+// It frames inline rather than through frame above: the engine's
+// summaries are flow-insensitive, so a helper shared with the leaking
+// path would smear taint onto this clean call site too.
+func logSanitized(l *Log, id *vhash.Identity, loc vhash.LocationID) {
+	h := id.Index(loc, 1024)
+	_ = l.Append([]byte{byte(h), byte(h >> 8), byte(h >> 16), byte(h >> 24)})
+}
+
+var _ = []any{leakIdentity, logSanitized}

@@ -1,0 +1,261 @@
+package rsu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ptm/internal/record"
+	"ptm/internal/transport"
+	"ptm/internal/vhash"
+)
+
+func spoolRecord(t *testing.T, loc vhash.LocationID, p record.PeriodID) *record.Record {
+	t.Helper()
+	rec, err := record.New(loc, p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Bitmap.Set(uint64(p) % 64)
+	return rec
+}
+
+func TestSpoolDrainDelivers(t *testing.T) {
+	s, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for p := 1; p <= 5; p++ {
+		if err := s.Enqueue(spoolRecord(t, 9, record.PeriodID(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Pending(); got != 5 {
+		t.Fatalf("Pending = %d, want 5", got)
+	}
+	var got []*record.Record
+	n, err := s.Drain(func(recs []*record.Record) (int, error) {
+		got = recs
+		return len(recs), nil
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("Drain = %d, %v", n, err)
+	}
+	for i, rec := range got {
+		if rec.Location != 9 || rec.Period != record.PeriodID(i+1) {
+			t.Fatalf("record %d = loc %d period %d; order lost", i, rec.Location, rec.Period)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after full drain", s.Pending())
+	}
+	// Nothing left: the next drain must not call send at all.
+	n, err = s.Drain(func([]*record.Record) (int, error) {
+		t.Fatal("send called on empty spool")
+		return 0, nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("empty Drain = %d, %v", n, err)
+	}
+}
+
+func TestSpoolTransportFailureKeepsRecords(t *testing.T) {
+	s, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for p := 1; p <= 3; p++ {
+		if err := s.Enqueue(spoolRecord(t, 4, record.PeriodID(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("connection refused")
+	if _, err := s.Drain(func([]*record.Record) (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Drain err = %v, want %v", err, boom)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d after failed drain, want 3", s.Pending())
+	}
+	n, err := s.Drain(func(recs []*record.Record) (int, error) { return len(recs), nil })
+	if err != nil || n != 3 {
+		t.Fatalf("retry Drain = %d, %v", n, err)
+	}
+}
+
+func TestSpoolRemoteErrorCountsAsDelivered(t *testing.T) {
+	s, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Enqueue(spoolRecord(t, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The server says "duplicate": the record is already there, so the
+	// spool must drop it rather than retry forever.
+	n, err := s.Drain(func(recs []*record.Record) (int, error) {
+		return 0, &transport.RemoteError{Msg: "central: duplicate record"}
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("Drain = %d, %v; RemoteError should count as delivered", n, err)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestSpoolSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 4; p++ {
+		if err := s.Enqueue(spoolRecord(t, 7, record.PeriodID(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := reopened.Pending(); got != 4 {
+		t.Fatalf("Pending after restart = %d, want 4", got)
+	}
+	var got []*record.Record
+	n, err := reopened.Drain(func(recs []*record.Record) (int, error) {
+		got = recs
+		return len(recs), nil
+	})
+	if err != nil || n != 4 {
+		t.Fatalf("Drain after restart = %d, %v", n, err)
+	}
+	for i, rec := range got {
+		if rec.Period != record.PeriodID(i+1) {
+			t.Fatalf("restart lost upload order: %v", got)
+		}
+	}
+}
+
+func TestSpoolEnqueueDuringDrainNotLost(t *testing.T) {
+	s, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Enqueue(spoolRecord(t, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue a second record while the first batch is mid-send: the
+	// seal means it lands in a new segment and survives the drop.
+	n, err := s.Drain(func(recs []*record.Record) (int, error) {
+		if err := s.Enqueue(spoolRecord(t, 2, 2)); err != nil {
+			t.Fatal(err)
+		}
+		return len(recs), nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("Drain = %d, %v", n, err)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the mid-drain record", s.Pending())
+	}
+	n, err = s.Drain(func(recs []*record.Record) (int, error) { return len(recs), nil })
+	if err != nil || n != 1 {
+		t.Fatalf("second Drain = %d, %v", n, err)
+	}
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond}.withDefaults()
+	b.Jitter = func(time.Duration) time.Duration { return 0 } // deterministic
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.delay(i); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Jitter stays within half the base delay.
+	j := Backoff{}.withDefaults()
+	for i := 0; i < 100; i++ {
+		d := j.delay(2)
+		base := 4 * j.Base
+		if d < base || d > base+base/2 {
+			t.Fatalf("delay(2) = %v outside [%v, %v]", d, base, base+base/2)
+		}
+	}
+}
+
+func TestDrainWithRetryRecovers(t *testing.T) {
+	s, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for p := 1; p <= 3; p++ {
+		if err := s.Enqueue(spoolRecord(t, 5, record.PeriodID(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var slept []time.Duration
+	fails := 2
+	n, err := s.DrainWithRetry(
+		func(recs []*record.Record) (int, error) {
+			if fails > 0 {
+				fails--
+				return 0, errors.New("central unreachable")
+			}
+			return len(recs), nil
+		},
+		Backoff{
+			Base: time.Millisecond, Max: 4 * time.Millisecond, Attempts: 5,
+			Sleep:  func(d time.Duration) { slept = append(slept, d) },
+			Jitter: func(time.Duration) time.Duration { return 0 },
+		},
+	)
+	if err != nil || n != 3 {
+		t.Fatalf("DrainWithRetry = %d, %v", n, err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %v, want exactly one backoff per failed attempt", slept)
+	}
+	if slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("backoff sequence %v not exponential", slept)
+	}
+}
+
+func TestDrainWithRetryExhaustsBudget(t *testing.T) {
+	s, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Enqueue(spoolRecord(t, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("still down")
+	n, err := s.DrainWithRetry(
+		func([]*record.Record) (int, error) { return 0, boom },
+		Backoff{Attempts: 3, Sleep: func(time.Duration) {}},
+	)
+	if n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("DrainWithRetry = %d, %v; want 0 and the transport error", n, err)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, record must survive for the next run", s.Pending())
+	}
+}

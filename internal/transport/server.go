@@ -10,16 +10,37 @@ import (
 	"net"
 	"sync"
 
-	"ptm/internal/central"
+	"ptm/internal/core"
 	"ptm/internal/record"
 	"ptm/internal/vhash"
 )
 
-// Server exposes a central.Server over the wire protocol. One goroutine
+// Store is the record store a Server fronts. *central.Server is the
+// in-memory implementation; *central.Durable adds a write-ahead log, so
+// the upload Ack this server sends only goes out once Ingest has made
+// the record as durable as the store promises.
+type Store interface {
+	// Ingest stores one uploaded record; the Ack is sent iff it
+	// returns nil.
+	Ingest(*record.Record) error
+	// Volume estimates one period's traffic volume (Eq. 1).
+	Volume(vhash.LocationID, record.PeriodID) (float64, error)
+	// PointPersistent estimates point persistent traffic (Eq. 12).
+	PointPersistent(vhash.LocationID, []record.PeriodID) (*core.PointResult, error)
+	// PointToPointPersistent estimates point-to-point persistent
+	// traffic (Eq. 21).
+	PointToPointPersistent(vhash.LocationID, vhash.LocationID, []record.PeriodID) (*core.PointToPointResult, error)
+	// Locations lists locations with stored records.
+	Locations() []vhash.LocationID
+	// Periods lists the stored periods at one location.
+	Periods(vhash.LocationID) []record.PeriodID
+}
+
+// Server exposes a record store over the wire protocol. One goroutine
 // serves each accepted connection; connections are independent
 // request/response streams.
 type Server struct {
-	store  *central.Server
+	store  Store
 	logger *log.Logger
 
 	mu     sync.Mutex
@@ -32,9 +53,10 @@ type Server struct {
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("transport: server closed")
 
-// NewServer wraps a central store. logger may be nil to discard protocol
+// NewServer wraps a record store (typically *central.Server or the
+// WAL-backed *central.Durable). logger may be nil to discard protocol
 // warnings.
-func NewServer(store *central.Server, logger *log.Logger) (*Server, error) {
+func NewServer(store Store, logger *log.Logger) (*Server, error) {
 	if store == nil {
 		return nil, errors.New("transport: nil store")
 	}

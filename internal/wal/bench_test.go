@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The append path is what sits between an RSU's upload and its Ack, so
+// its cost per sync policy is the ingest plane's durability overhead.
+// Run via `make bench-wal`; the committed baseline is BENCH_pr5.json.
+
+func benchAppend(b *testing.B, policy SyncPolicy, payload int) {
+	l, err := Open(b.TempDir(), Options{Sync: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	buf := make([]byte, payload)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(int64(payload))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendSerial(b *testing.B) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		for _, size := range []int{256, 4096} {
+			b.Run(fmt.Sprintf("sync=%v/payload=%d", policy, size), func(b *testing.B) {
+				benchAppend(b, policy, size)
+			})
+		}
+	}
+}
+
+// BenchmarkAppendGroupCommit measures concurrent appenders sharing
+// fsyncs: the whole point of group commit is that ns/op here collapses
+// versus serial SyncAlways as parallelism rises (-cpu=1,4,8).
+func BenchmarkAppendGroupCommit(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	buf := make([]byte, 256)
+	b.SetBytes(256)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := l.Append(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := l.Stats()
+	if st.Appends > 0 {
+		b.ReportMetric(float64(st.Syncs)/float64(st.Appends), "syncs/append")
+	}
+}
