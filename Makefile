@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench bench-json bench-ingest bench-wal
+.PHONY: build test lint lint-fast check bench bench-json bench-ingest bench-wal
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ test:
 # the report.
 lint:
 	$(GO) run ./cmd/ptmlint ./...
+
+# lint-fast runs only the syntax-level per-package rules — everything
+# except the whole-program analyses (privflow taint tracking and the four
+# concguard concurrency rules), whose interprocedural fixpoints dominate
+# lint wall time. Use it as the editor/pre-commit loop; `make lint` and
+# scripts/check.sh remain the full gate.
+lint-fast:
+	$(GO) run ./cmd/ptmlint -rules=cryptorand,pow2size,lockedfields,errdrop,goroutinehygiene ./...
 
 check:
 	scripts/check.sh

@@ -8,10 +8,13 @@
 // 2 on load or usage errors. The rule set protects invariants the Go type
 // system cannot see: crypto-quality randomness in privacy-critical
 // packages, power-of-two bitmap sizes, lock discipline on guarded struct
-// fields, handled errors, goroutine lifecycle hygiene, and — via the
-// whole-program privflow taint analysis — the paper's privacy boundary:
-// no private vehicle state may reach transport, records, logs, or
-// encoders except through the vhash index reduction. Every run also
+// fields, handled errors, goroutine lifecycle hygiene, the paper's
+// privacy boundary (whole-program privflow taint analysis: no private
+// vehicle state may reach transport, records, logs, or encoders except
+// through the vhash index reduction), and the concguard concurrency
+// contracts (lockorder, guardedby, atomicmix, rcu: //ptm:* annotations
+// on the lock-free ingest and durability planes, checked
+// interprocedurally with acquisition-path witnesses). Every run also
 // audits //ptmlint:allow suppressions: a directive whose rule no longer
 // fires on its line is itself a stale-directive finding, so the escape
 // hatch cannot rot. See DESIGN.md for the full rule table.

@@ -95,9 +95,41 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, want := range []string{"privflow", lint.StaleDirective} {
+	for _, want := range []string{
+		"privflow", "lockorder", "guardedby", "atomicmix", "rcu", lint.StaleDirective,
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunUnknownRule pins the -rules contract: a typo in the subset list
+// must be a hard usage error, not a silently empty run.
+func TestRunUnknownRule(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-rules", "lockorder,nosuchrule", fixture}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "nosuchrule") {
+		t.Errorf("stderr does not name the unknown rule: %s", errOut.String())
+	}
+}
+
+// TestRunRuleSubset runs only the concguard rules over the lockorder
+// fixture and checks that subsetting works end to end: the lockorder
+// finding appears and no other rule fires.
+func TestRunRuleSubset(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-rules", "lockorder,guardedby,atomicmix,rcu",
+		"ptm/internal/lint/testdata/src/concguard/lockorder"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[lockorder]") {
+		t.Errorf("subset run missing lockorder finding:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "[privflow]") {
+		t.Errorf("subset run executed a rule outside the subset:\n%s", out.String())
 	}
 }

@@ -75,6 +75,7 @@ func (b *Bitmap) Words() int { return len(b.words) }
 // cannot write out of range.
 //
 //ptm:sink bitmap write
+//ptm:exclusive single-writer ingest path; concurrent folds use AtomicSet
 func (b *Bitmap) Set(i uint64) {
 	i &= uint64(b.nbits - 1) // nbits is a power of two
 	b.words[i/wordBits] |= 1 << (i % wordBits)
@@ -123,6 +124,8 @@ func (b *Bitmap) AtomicFractionOne() float64 {
 }
 
 // Get reports whether bit i is one. Indexes are reduced modulo Size.
+//
+//ptm:exclusive quiescent read; concurrent readers use AtomicGet
 func (b *Bitmap) Get(i uint64) bool {
 	i &= uint64(b.nbits - 1)
 	return b.words[i/wordBits]&(1<<(i%wordBits)) != 0
@@ -131,11 +134,15 @@ func (b *Bitmap) Get(i uint64) bool {
 // Reset clears every bit, making the bitmap ready for a new measurement
 // period (Section II-D: "At the beginning of each measurement period, the
 // bits in B are reset to zeros").
+//
+//ptm:exclusive period rotation; no reports are in flight when a bitmap is reset
 func (b *Bitmap) Reset() {
 	clear(b.words)
 }
 
 // Ones returns the number of one bits.
+//
+//ptm:exclusive quiescent read after the rotation happens-before edge; live counts use AtomicOnes
 func (b *Bitmap) Ones() int {
 	n := 0
 	for _, w := range b.words {
@@ -159,6 +166,8 @@ func (b *Bitmap) FractionOne() float64 {
 }
 
 // Clone returns a deep copy.
+//
+//ptm:exclusive quiescent copy; sealed records only
 func (b *Bitmap) Clone() *Bitmap {
 	w := make([]uint64, len(b.words))
 	copy(w, b.words)
@@ -166,6 +175,8 @@ func (b *Bitmap) Clone() *Bitmap {
 }
 
 // Equal reports whether two bitmaps have the same size and contents.
+//
+//ptm:exclusive quiescent comparison; sealed records only
 func (b *Bitmap) Equal(o *Bitmap) bool {
 	if o == nil || b.nbits != o.nbits {
 		return false
@@ -180,6 +191,8 @@ func (b *Bitmap) Equal(o *Bitmap) bool {
 
 // And sets b to the bitwise AND of b and o. The sizes must match; expand
 // the smaller operand first (Section III-A).
+//
+//ptm:exclusive join plane operates on sealed records
 func (b *Bitmap) And(o *Bitmap) error {
 	if b.nbits != o.nbits {
 		return fmt.Errorf("%w: %d vs %d", ErrSizeMismatch, b.nbits, o.nbits)
@@ -192,6 +205,8 @@ func (b *Bitmap) And(o *Bitmap) error {
 
 // Or sets b to the bitwise OR of b and o. The sizes must match. OR is the
 // second-level join of the point-to-point estimator (Section IV-A).
+//
+//ptm:exclusive join plane operates on sealed records
 func (b *Bitmap) Or(o *Bitmap) error {
 	if b.nbits != o.nbits {
 		return fmt.Errorf("%w: %d vs %d", ErrSizeMismatch, b.nbits, o.nbits)
@@ -207,6 +222,8 @@ func (b *Bitmap) Or(o *Bitmap) error {
 // power of two >= Size. When n == Size the receiver itself is returned,
 // matching the paper's "if l_j = m then E_j is simply B_j"; callers that
 // mutate the result must Clone first.
+//
+//ptm:exclusive join plane operates on sealed records
 func (b *Bitmap) ExpandTo(n int) (*Bitmap, error) {
 	if n == b.nbits {
 		return b, nil
@@ -288,6 +305,7 @@ const (
 // the estimators.
 //
 //ptm:sink bitmap serialization
+//ptm:exclusive serialization of a sealed record
 func (b *Bitmap) MarshalBinary() ([]byte, error) {
 	out := make([]byte, headerLen+len(b.words)*8+4)
 	binary.LittleEndian.PutUint32(out[0:4], marshalMagic)
@@ -303,6 +321,8 @@ func (b *Bitmap) MarshalBinary() ([]byte, error) {
 
 // Unmarshal parses a bitmap serialized by MarshalBinary, verifying the
 // magic, version, size constraints, and checksum.
+//
+//ptm:exclusive constructs a fresh bitmap not yet published
 func Unmarshal(data []byte) (*Bitmap, error) {
 	if len(data) < headerLen+4 {
 		return nil, fmt.Errorf("%w: short buffer (%d bytes)", ErrCorrupt, len(data))

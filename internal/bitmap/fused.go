@@ -38,6 +38,8 @@ var ErrJoinEmpty = errors.New("bitmap: join of zero bitmaps")
 // word returns word i of b's virtual expansion to any size with at least
 // i+1 words. len(b.words) is a power of two, so replication makes the
 // modular index a mask.
+//
+//ptm:exclusive join plane reads sealed records
 func (b *Bitmap) word(i int) uint64 { return b.words[i&(len(b.words)-1)] }
 
 // MaxSize returns the largest Size among the operands, the common join
@@ -101,6 +103,8 @@ func joinOnes(ms []*Bitmap, and bool) (ones, m int, err error) {
 
 // joinOnes2 is the two-operand fast path: every estimator's final
 // E_a ∧ E_b and E* ∨ E′* step lands here.
+//
+//ptm:exclusive join plane reads sealed records
 func joinOnes2(a, b *Bitmap, words int, and bool) int {
 	ones := 0
 	am, bm := len(a.words)-1, len(b.words)-1
@@ -138,8 +142,11 @@ func OrAllInto(dst *Bitmap, ms []*Bitmap) (ones int, err error) {
 
 // aliases reports whether two bitmaps share backing storage. Bitmaps are
 // never empty (New enforces >= 64 bits), so first-word identity suffices.
+//
+//ptm:exclusive address identity check; no word is read or written
 func aliases(a, b *Bitmap) bool { return &a.words[0] == &b.words[0] }
 
+//ptm:exclusive join plane operates on sealed records and a caller-owned dst
 func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	m, err := MaxSize(ms)
 	if err != nil {
@@ -212,6 +219,8 @@ func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 // joinIntoByWord is the aliasing-safe reference loop: each output word is
 // computed from every operand (through the modular index) before it is
 // stored, so dst may alias any equal-size operand.
+//
+//ptm:exclusive join plane operates on sealed records and a caller-owned dst
 func joinIntoByWord(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	first := ms[0]
 	rest := ms[1:]
@@ -259,6 +268,8 @@ func (s *JoinScratch) Reset() {
 // lease returns an n-bit bitmap backed by the scratch (or freshly
 // allocated for a nil receiver). Its contents are unspecified; callers
 // must overwrite every word before reading.
+//
+//ptm:exclusive scratch arenas are single-owner by contract
 func (s *JoinScratch) lease(n int) (*Bitmap, error) {
 	if s == nil {
 		return New(n)

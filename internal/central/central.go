@@ -47,9 +47,10 @@ const DefaultShards = 16
 
 // shard is one lock domain of the store.
 type shard struct {
-	mu sync.RWMutex // guards byLoc and its inner maps
+	mu sync.RWMutex
 	// byLoc[loc][period] holds the stored records for this shard's slice
-	// of the location space.
+	// of the location space (the guard covers the inner maps too).
+	//ptm:guardedby mu
 	byLoc map[vhash.LocationID]map[record.PeriodID]*record.Record
 }
 
@@ -71,6 +72,8 @@ func NewServer(s int) (*Server, error) {
 // NewServerSharded creates an empty server with an explicit shard count,
 // which must be a power of two in [1, 1<<12]. More shards admit more
 // concurrent uploads at the cost of slower cross-shard iteration.
+//
+//ptm:exclusive constructor: the Server is not shared until it returns
 func NewServerSharded(s, nShards int) (*Server, error) {
 	if s < vhash.MinS || s > vhash.MaxS {
 		return nil, fmt.Errorf("central: %w", vhash.ErrInvalidS)

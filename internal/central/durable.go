@@ -38,8 +38,8 @@ type Durable struct {
 	// successful ingests (0 disables automatic checkpoints).
 	checkpointEvery int
 
-	mu        sync.Mutex // guards sinceCkpt
-	sinceCkpt int
+	mu        sync.Mutex
+	sinceCkpt int //ptm:guardedby mu (successful ingests since the last checkpoint)
 }
 
 // OpenDurable opens (or creates) the WAL directory, creates the store,

@@ -73,14 +73,18 @@ var (
 // atomics, so concurrent vehicle reports proceed without convoying on the
 // channel mutex. Lossy channels take the mutex only for the RNG draw.
 type Channel struct {
-	mu        sync.Mutex // guards rng, nextSub, and listeners
-	rng       *rand.Rand
-	nextSub   int
-	listeners map[int]func(Beacon)
+	mu        sync.Mutex
+	rng       *rand.Rand           //ptm:guardedby mu
+	nextSub   int                  //ptm:guardedby mu
+	listeners map[int]func(Beacon) //ptm:guardedby mu
 
 	cfg    Config // immutable after NewChannel
 	closed atomic.Bool
-	sink   atomic.Pointer[func(Report)]
+	// sink is RCU-published: attach/detach store it under mu; the
+	// lock-free Send path loads it and must not retain the pointer
+	// across blocking (machine-checked by the rcu lint rule).
+	//ptm:rcu mu
+	sink atomic.Pointer[func(Report)]
 
 	beaconsSent, beaconsLost atomic.Uint64
 	reportsSent, reportsLost atomic.Uint64

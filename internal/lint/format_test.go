@@ -192,6 +192,66 @@ func TestFormatSARIFSchema(t *testing.T) {
 	}
 }
 
+// TestFormatSARIFAcquisitionPath checks that a lockorder inversion's
+// acquisition-path witness survives the SARIF encoding: the result
+// carries a codeFlow whose single threadFlow walks the declaration, the
+// call hop, and the inner acquisition — at least three located steps.
+func TestFormatSARIFAcquisitionPath(t *testing.T) {
+	diags := loadConcguardFixture(t, "lockorder", LockOrder())
+	buf, err := FormatSARIF(diags, All(), nil)
+	if err != nil {
+		t.Fatalf("FormatSARIF: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	runs := sarifGet[[]any](t, doc, "runs", "log")
+	results := sarifGet[[]any](t, runs[0].(map[string]any), "results", "run")
+	var sawInversion bool
+	for i, r := range results {
+		res := r.(map[string]any)
+		where := fmt.Sprintf("results[%d]", i)
+		msg := sarifGet[map[string]any](t, res, "message", where)
+		if !strings.Contains(sarifGet[string](t, msg, "text", where), "inverting declared order") {
+			continue
+		}
+		sawInversion = true
+		if id := sarifGet[string](t, res, "ruleId", where); id != "lockorder" {
+			t.Errorf("%s ruleId = %q, want lockorder", where, id)
+		}
+		flows := sarifGet[[]any](t, res, "codeFlows", where)
+		if len(flows) != 1 {
+			t.Fatalf("%s has %d codeFlows, want 1", where, len(flows))
+		}
+		tfs := sarifGet[[]any](t, flows[0].(map[string]any), "threadFlows", where)
+		if len(tfs) != 1 {
+			t.Fatalf("%s has %d threadFlows, want 1", where, len(tfs))
+		}
+		locs := sarifGet[[]any](t, tfs[0].(map[string]any), "locations", where)
+		if len(locs) < 3 {
+			t.Fatalf("%s acquisition path has %d steps, want at least 3", where, len(locs))
+		}
+		var notes []string
+		for k, tl := range locs {
+			lw := fmt.Sprintf("%s.threadFlow[%d]", where, k)
+			loc := sarifGet[map[string]any](t, tl.(map[string]any), "location", lw)
+			checkSARIFLocation(t, loc, lw+".location")
+			m := sarifGet[map[string]any](t, loc, "message", lw)
+			notes = append(notes, sarifGet[string](t, m, "text", lw+".message"))
+		}
+		joined := strings.Join(notes, " | ")
+		for _, want := range []string{"declared here", "while holding", "acquires"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("acquisition path %q never says %q", joined, want)
+			}
+		}
+	}
+	if !sawInversion {
+		t.Fatal("no inversion result in SARIF output")
+	}
+}
+
 func checkSARIFLocation(t *testing.T, loc map[string]any, where string) {
 	t.Helper()
 	phys := sarifGet[map[string]any](t, loc, "physicalLocation", where)

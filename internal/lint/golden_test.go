@@ -80,6 +80,12 @@ func TestGolden(t *testing.T) {
 		{name: "privflow-sanitized", dir: "privflow/sanitized",
 			analyzer: Privflow(), wantNone: true},
 		{name: "stale-directive", dir: "staletest", analyzer: ErrDrop(), audit: true},
+		{name: "concguard-lockorder", dir: "concguard/lockorder", analyzer: LockOrder()},
+		{name: "concguard-guardedby", dir: "concguard/guardedby", analyzer: GuardedBy()},
+		{name: "concguard-atomicmix", dir: "concguard/atomicmix", analyzer: AtomicMix()},
+		{name: "concguard-rcu", dir: "concguard/rcu", analyzer: RCU()},
+		{name: "stale-directive-concguard", dir: "staleconctest",
+			analyzer: GuardedBy(), audit: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -328,6 +328,10 @@ func All() []*Analyzer {
 		ErrDrop(),
 		GoroutineHygiene(),
 		Privflow(),
+		LockOrder(),
+		GuardedBy(),
+		AtomicMix(),
+		RCU(),
 	}
 }
 

@@ -12,11 +12,19 @@ import (
 //
 // The check is a dominance heuristic, not an escape analysis: a method is
 // clean when a <recv>.<mu>.Lock() / RLock() call appears textually before
-// the first guarded-field access in the method body. Methods that lock,
-// unlock, and then access are out of scope, as are accesses through
-// aliases of the receiver. The point is to catch the common refactoring
-// accident — a new method or early-return path that forgets the lock
-// entirely — cheaply and with near-zero false positives.
+// the first guarded-field access in the method body. On an RWMutex an
+// RLock only licenses reads: guarded-field writes after an RLock (and
+// before any full Lock) are still reported. Methods that lock, unlock,
+// and then access are out of scope, as are accesses through aliases of
+// the receiver. The point is to catch the common refactoring accident — a
+// new method or early-return path that forgets the lock entirely —
+// cheaply and with near-zero false positives.
+//
+// Structs that carry //ptm:guardedby annotations opt out of this
+// positional heuristic entirely: their contracts are explicit and the
+// interprocedural guardedby rule enforces them (including callers that
+// hold the lock for the callee, which this rule cannot see). lockedfields
+// remains the fallback for unannotated code.
 func LockedFields() *Analyzer {
 	return &Analyzer{
 		Name: "lockedfields",
@@ -29,6 +37,7 @@ func LockedFields() *Analyzer {
 type guardedStruct struct {
 	typeName string
 	muName   string
+	rw       bool // the mutex is a sync.RWMutex
 	guarded  map[string]bool
 }
 
@@ -72,12 +81,19 @@ func collectGuardedStructs(pass *Pass, f *ast.File, out map[string]*guardedStruc
 		if !ok || st.Fields == nil {
 			return true
 		}
-		muIdx, muName := -1, ""
+		// //ptm:guardedby annotations hand the struct to the
+		// interprocedural guardedby rule; the positional heuristic would
+		// only double-report (or contradict) the explicit contract.
+		if hasGuardedByAnnotation(ts, st) {
+			return true
+		}
+		muIdx, muName, rw := -1, "", false
 		for i, field := range st.Fields.List {
-			if !isSyncMutex(field.Type, syncName) {
+			ok, isRW := isSyncMutex(field.Type, syncName)
+			if !ok {
 				continue
 			}
-			muIdx = i
+			muIdx, rw = i, isRW
 			if len(field.Names) > 0 {
 				muName = field.Names[0].Name
 			} else {
@@ -90,7 +106,7 @@ func collectGuardedStructs(pass *Pass, f *ast.File, out map[string]*guardedStruc
 		if muIdx < 0 {
 			return true
 		}
-		gs := &guardedStruct{typeName: ts.Name.Name, muName: muName, guarded: make(map[string]bool)}
+		gs := &guardedStruct{typeName: ts.Name.Name, muName: muName, rw: rw, guarded: make(map[string]bool)}
 		prevLine := pass.Fset.Position(st.Fields.List[muIdx].End()).Line
 		for _, field := range st.Fields.List[muIdx+1:] {
 			line := pass.Fset.Position(field.Pos()).Line
@@ -109,29 +125,89 @@ func collectGuardedStructs(pass *Pass, f *ast.File, out map[string]*guardedStruc
 	})
 }
 
+// hasGuardedByAnnotation reports whether the struct declaration or any of
+// its fields carries a //ptm:guardedby comment.
+func hasGuardedByAnnotation(ts *ast.TypeSpec, st *ast.StructType) bool {
+	groups := []*ast.CommentGroup{ts.Doc, ts.Comment}
+	for _, field := range st.Fields.List {
+		groups = append(groups, field.Doc, field.Comment)
+	}
+	for _, g := range groups {
+		if _, ok := ptmFact(factGuardedBy, g); ok {
+			return true
+		}
+	}
+	return false
+}
+
 // checkMethodLocking walks the method body in source order and reports
-// guarded-field accesses that precede the first lock acquisition.
+// guarded-field accesses that precede the first lock acquisition. After
+// an RLock on an RWMutex it keeps walking, reporting guarded-field writes
+// until a full Lock appears: an RLock is shared with other readers and
+// does not license mutation.
 func checkMethodLocking(pass *Pass, recvName string, gs *guardedStruct, fd *ast.FuncDecl) {
-	locked := false
+	const (
+		unlocked = iota
+		readLocked
+		writeLocked
+	)
+	mode := unlocked
+	guardedSel := func(e ast.Expr) *ast.SelectorExpr {
+		sel, ok := unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		x, ok := unparen(sel.X).(*ast.Ident)
+		if !ok || x.Name != recvName || !gs.guarded[sel.Sel.Name] {
+			return nil
+		}
+		return sel
+	}
+	reportRLockWrite := func(sel *ast.SelectorExpr) {
+		pass.Reportf(sel.Pos(),
+			"%s.%s is written in %s under %s.%s.RLock() only; writers must hold %s.%s.Lock()",
+			recvName, sel.Sel.Name, fd.Name.Name, recvName, gs.muName, recvName, gs.muName)
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if locked {
+		if mode == writeLocked {
 			return false
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isLockCall(n, recvName, gs.muName) {
-				locked = true
+			if name, ok := lockCallName(n, recvName, gs.muName); ok {
+				if name == "RLock" && gs.rw {
+					mode = readLocked
+				} else {
+					mode = writeLocked
+				}
 				return false
 			}
-		case *ast.SelectorExpr:
-			x, ok := unparen(n.X).(*ast.Ident)
-			if !ok || x.Name != recvName {
+		case *ast.AssignStmt:
+			if mode != readLocked {
 				return true
 			}
-			if gs.guarded[n.Sel.Name] {
-				pass.Reportf(n.Pos(),
+			for _, lhs := range n.Lhs {
+				if sel := guardedSel(lhs); sel != nil {
+					reportRLockWrite(sel)
+				}
+			}
+		case *ast.IncDecStmt:
+			if mode != readLocked {
+				return true
+			}
+			if sel := guardedSel(n.X); sel != nil {
+				reportRLockWrite(sel)
+			}
+		case *ast.SelectorExpr:
+			if mode == readLocked {
+				// Reads are what the RLock is for; writes were handled at
+				// the statement level above.
+				return true
+			}
+			if sel := guardedSel(n); sel != nil {
+				pass.Reportf(sel.Pos(),
 					"%s.%s is guarded by %s.%s but accessed before %s.%s.Lock() in %s",
-					recvName, n.Sel.Name, gs.typeName, gs.muName, recvName, gs.muName, fd.Name.Name)
+					recvName, sel.Sel.Name, gs.typeName, gs.muName, recvName, gs.muName, fd.Name.Name)
 			}
 			return false // don't descend into n.Sel
 		}
@@ -139,35 +215,45 @@ func checkMethodLocking(pass *Pass, recvName string, gs *guardedStruct, fd *ast.
 	})
 }
 
-// isLockCall matches recv.mu.Lock() and recv.mu.RLock().
-func isLockCall(call *ast.CallExpr, recvName, muName string) bool {
+// lockCallName matches recv.mu.Lock() and recv.mu.RLock(), returning
+// which of the two it is.
+func lockCallName(call *ast.CallExpr, recvName, muName string) (string, bool) {
 	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-		return false
+		return "", false
 	}
 	mu, ok := unparen(sel.X).(*ast.SelectorExpr)
 	if !ok || mu.Sel.Name != muName {
-		return false
+		return "", false
 	}
 	recv, ok := unparen(mu.X).(*ast.Ident)
-	return ok && recv.Name == recvName
+	if !ok || recv.Name != recvName {
+		return "", false
+	}
+	return sel.Sel.Name, true
 }
 
-// isSyncMutex reports whether a field type is sync.Mutex or sync.RWMutex,
-// possibly behind a pointer.
-func isSyncMutex(t ast.Expr, syncName string) bool {
-	if star, ok := t.(*ast.StarExpr); ok {
+// isSyncMutex reports whether a field type is sync.Mutex or sync.RWMutex
+// (second result), possibly behind a pointer.
+func isSyncMutex(t ast.Expr, syncName string) (ok, rw bool) {
+	if star, isStar := t.(*ast.StarExpr); isStar {
 		t = star.X
 	}
-	sel, ok := t.(*ast.SelectorExpr)
-	if !ok {
-		return false
+	sel, isSel := t.(*ast.SelectorExpr)
+	if !isSel {
+		return false, false
 	}
-	pkg, ok := sel.X.(*ast.Ident)
-	if !ok || pkg.Name != syncName {
-		return false
+	pkg, isIdent := sel.X.(*ast.Ident)
+	if !isIdent || pkg.Name != syncName {
+		return false, false
 	}
-	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+	switch sel.Sel.Name {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
 }
 
 // receiverTypeName extracts the base type name of a method receiver.

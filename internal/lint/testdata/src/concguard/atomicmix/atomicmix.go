@@ -1,0 +1,39 @@
+// Package atomicmixtest is golden-file input for the atomicmix rule.
+package atomicmixtest
+
+import "sync/atomic"
+
+type counter struct {
+	words []uint64
+	hits  atomic.Uint64
+}
+
+// newCounter constructs before publication, so plain writes are fine.
+//
+//ptm:exclusive constructor: the counter is not shared until it returns
+func newCounter(n int) *counter {
+	c := &counter{words: make([]uint64, n)}
+	c.words[0] = 1
+	return c
+}
+
+// set is the sanctioned atomic access that marks words atomic.
+func (c *counter) set(i int) {
+	atomic.OrUint64(&c.words[i/64], 1<<(i%64))
+	c.hits.Add(1)
+}
+
+// badRead mixes a plain read into the atomic discipline.
+func (c *counter) badRead(i int) uint64 {
+	return c.words[i/64] // want `words is accessed via sync/atomic but read plainly here`
+}
+
+// badCopy reads the atomic-typed field as a plain value.
+func (c *counter) badCopy() atomic.Uint64 {
+	return c.hits // want `atomic-typed field .*hits read as a plain value`
+}
+
+// size only touches the slice header, which is exempt.
+func (c *counter) size() int {
+	return len(c.words)
+}

@@ -1,0 +1,40 @@
+// Package guardedbytest is golden-file input for the guardedby rule.
+package guardedbytest
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	n  int //ptm:guardedby mu
+}
+
+// Good reads under the read lock.
+func (s *store) Good() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// GoodWrite holds the write lock across the locked helper.
+func (s *store) GoodWrite(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setLocked(v)
+}
+
+// setLocked is interprocedurally covered: its only caller holds mu.
+func (s *store) setLocked(v int) {
+	s.n = v
+}
+
+// BadRead touches the guarded field with no lock at all.
+func (s *store) BadRead() int {
+	return s.n // want `store\.n read without holding .*mu`
+}
+
+// BadWrite mutates under the read lock only.
+func (s *store) BadWrite(v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.n = v // want `store\.n written without holding .*mu`
+}

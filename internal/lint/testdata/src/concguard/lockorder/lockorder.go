@@ -1,0 +1,59 @@
+// Package lockordertest is golden-file input for the lockorder rule: a
+// WAL-like log declares //ptm:lockorder syncMu<mu and a helper inverts it
+// through a call, and an undeclared pair of locks forms a cycle.
+package lockordertest
+
+import "sync"
+
+// Log mimics the WAL's group-commit locking.
+//
+//ptm:lockorder syncMu<mu
+type Log struct {
+	syncMu sync.Mutex
+	mu     sync.Mutex
+	seq    int
+}
+
+// Good follows the declared order.
+func (l *Log) Good() {
+	l.syncMu.Lock()
+	l.mu.Lock()
+	l.seq++
+	l.mu.Unlock()
+	l.syncMu.Unlock()
+}
+
+// flush acquires syncMu; callers must not hold mu.
+func (l *Log) flush() {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+}
+
+// Bad holds mu and calls flush, which acquires syncMu — the inversion is
+// only visible through the call chain.
+func (l *Log) Bad() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.flush() // want `syncMu acquired while .*mu is held, inverting declared order`
+}
+
+// pair has no declared order; the two methods below acquire its locks in
+// opposite orders, forming an inferred cycle.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want `lock-order cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,52 @@
+// Package rcutest is golden-file input for the rcu rule.
+package rcutest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type state struct{ n int }
+
+type server struct {
+	rotateMu sync.Mutex
+	//ptm:rcu rotateMu
+	cur atomic.Pointer[state]
+}
+
+// Rotate publishes under the rotation lock.
+func (s *server) Rotate(next *state) {
+	s.rotateMu.Lock()
+	defer s.rotateMu.Unlock()
+	s.cur.Store(next)
+}
+
+// BadStore publishes without the rotation lock.
+func (s *server) BadStore(next *state) {
+	s.cur.Store(next) // want `Store on RCU field .*cur without holding rotation lock`
+}
+
+// GoodRead finishes with the snapshot before blocking.
+func (s *server) GoodRead(ch chan int) int {
+	st := s.cur.Load()
+	n := st.n
+	<-ch
+	return n
+}
+
+// GoodReload re-Loads after blocking, so the later use holds a fresh
+// snapshot.
+func (s *server) GoodReload(ch chan int) int {
+	st := s.cur.Load()
+	n := st.n
+	<-ch
+	st = s.cur.Load()
+	return st.n + n
+}
+
+// BadRetain keeps using the pre-block snapshot after the channel receive.
+func (s *server) BadRetain(ch chan int) int {
+	st := s.cur.Load()
+	<-ch
+	return st.n // want `RCU pointer from .*cur retained across a blocking operation`
+}

@@ -1,0 +1,45 @@
+// RLock-only writes and //ptm:guardedby opt-out cases for the
+// lockedfields rule.
+package lockedfieldstest
+
+import "sync"
+
+// BadRLockWrite takes only the read lock and then mutates guarded state.
+func (g *gauge) BadRLockWrite(v float64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val = v // want `g\.val is written in BadRLockWrite under g\.mu\.RLock\(\) only`
+}
+
+// BadRLockInc mutates through an increment statement under RLock.
+func (g *gauge) BadRLockInc() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val++ // want `g\.val is written in BadRLockInc under g\.mu\.RLock\(\) only`
+}
+
+// GoodWriteLock upgrades to the write lock before mutating.
+func (g *gauge) GoodWriteLock(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.val = v
+}
+
+// annotated carries explicit //ptm:guardedby contracts, so the
+// positional heuristic defers to the interprocedural guardedby rule and
+// must stay silent here even though setLocked writes off-lock (its
+// callers hold the lock — exactly what this rule cannot see).
+type annotated struct {
+	mu sync.Mutex
+	n  int //ptm:guardedby mu
+}
+
+func (a *annotated) setLocked(v int) {
+	a.n = v
+}
+
+func (a *annotated) Set(v int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.setLocked(v)
+}

@@ -1,0 +1,26 @@
+// Package staleconctest exercises the suppression audit against the
+// whole-program guardedby rule: one directive suppresses a live finding,
+// one suppresses nothing and must be reported as stale.
+package staleconctest
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int //ptm:guardedby mu
+}
+
+// Peek documents a deliberately racy monitoring read; the directive is
+// live because guardedby would otherwise report the access.
+func (b *box) Peek() int {
+	//ptmlint:allow guardedby monitoring read; staleness is acceptable
+	return b.v
+}
+
+// Get is properly locked, so the directive below suppresses nothing.
+func (b *box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//ptmlint:allow guardedby leftover from before the lock was added // want `//ptmlint:allow guardedby no longer suppresses any finding`
+	return b.v
+}

@@ -66,7 +66,11 @@ type RSU struct {
 	// report path never takes it.
 	rotateMu sync.Mutex
 
-	// cur is the RCU-published active period; nil between periods.
+	// cur is the RCU-published active period; nil between periods. Only
+	// the rotation writer (holding rotateMu) may store or swap it, and
+	// lock-free readers must re-Load rather than retain a pointer across
+	// blocking — both machine-checked by the rcu lint rule.
+	//ptm:rcu rotateMu
 	cur      atomic.Pointer[periodState]
 	dropped  atomic.Uint64 // reports received with no/mismatched active period
 	lastSeen atomic.Uint64 // reports in the most recently completed period

@@ -22,13 +22,18 @@ import (
 // segment drop re-sends the batch on the next drain. The central server
 // rejects the replays as duplicates, which the drainer treats as
 // delivered — see Drain.
+// Lock order: drainMu is taken before mu (Drain holds drainMu across
+// the seal → send → drop cycle and briefly takes mu to adjust pending);
+// mu is never held across I/O.
+//
+//ptm:lockorder drainMu<mu
 type Spool struct {
 	log *wal.Log
 
 	drainMu sync.Mutex // serializes drains (seal → send → drop)
 
 	mu      sync.Mutex // guards pending; never held across I/O
-	pending int
+	pending int        //ptm:guardedby mu
 }
 
 // OpenSpool opens (or creates) the spool directory and counts any

@@ -32,14 +32,19 @@ var ErrClientClosed = errors.New("transport: client closed")
 // matches responses to waiters FIFO. A transport failure (as opposed to
 // an application-level RemoteError) poisons the connection: every pending
 // and subsequent call fails, and the caller should redial.
+// Lock order: sendMu before errMu — the send path marks the connection
+// broken (errMu) while still serializing writers; errMu is innermost and
+// never held while acquiring sendMu.
+//
+//ptm:lockorder sendMu<errMu
 type Client struct {
 	conn net.Conn // set at construction, never reassigned
 
-	sendMu sync.Mutex // serializes frame writes and pending-queue pushes
-	bw     *bufio.Writer
+	sendMu sync.Mutex    // serializes frame writes and pending-queue pushes
+	bw     *bufio.Writer //ptm:guardedby sendMu
 
-	errMu     sync.Mutex // guards brokenErr
-	brokenErr error      // sticky transport failure
+	errMu     sync.Mutex
+	brokenErr error //ptm:guardedby errMu (sticky transport failure)
 
 	pending   chan *pendingCall
 	quit      chan struct{}

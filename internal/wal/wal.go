@@ -176,26 +176,36 @@ type Stats struct {
 
 // Log is a segmented append-only log. All methods are safe for
 // concurrent use.
+//
+// Lock order (machine-checked by the lockorder lint rule): ckptMu is
+// outermost — Checkpoint holds it across Seal and DropThrough, which
+// take syncMu and mu, and it is never acquired while either of those is
+// held; syncMu is taken before mu (group commit captures the sync
+// target under mu while leading under syncMu); mu is innermost and is
+// never held while acquiring another Log lock.
+//
+//ptm:lockorder ckptMu<syncMu ckptMu<mu syncMu<mu
 type Log struct {
 	dir  string
 	opts Options
 
 	mu       sync.Mutex // guards the fields below and file writes
-	f        *os.File   // active segment
-	segIndex uint64     // active segment's index
-	segSize  int64      // bytes written to the active segment
-	firstSeg uint64     // oldest surviving segment index
-	writeSeq int64      // entries ever written (monotonic, includes recovered)
-	closed   bool
+	f        *os.File   //ptm:guardedby mu (active segment)
+	segIndex uint64     //ptm:guardedby mu (active segment's index)
+	segSize  int64      //ptm:guardedby mu (bytes written to the active segment)
+	firstSeg uint64     //ptm:guardedby mu (oldest surviving segment index)
+	writeSeq int64      //ptm:guardedby mu (entries ever written, monotonic, includes recovered)
+	closed   bool       //ptm:guardedby mu
 
-	// Group commit state. Lock order: syncMu before mu; never take
-	// syncMu while holding mu.
+	// Group commit state.
 	syncMu    sync.Mutex
 	syncCond  *sync.Cond
-	syncedSeq int64 // all entries <= syncedSeq are on stable storage
-	syncing   bool  // a leader is currently in Fsync
-	syncErr   error // sticky: a failed fsync poisons the log
+	syncedSeq int64 //ptm:guardedby syncMu (all entries <= syncedSeq are on stable storage)
+	syncing   bool  //ptm:guardedby syncMu (a leader is currently in Fsync)
+	syncErr   error //ptm:guardedby syncMu (sticky: a failed fsync poisons the log)
 
+	// Activity counters, updated on the append and sync paths.
+	//ptm:guardedby mu
 	stats struct {
 		appends   int64
 		syncs     int64
@@ -204,7 +214,9 @@ type Log struct {
 		entries   int64
 	}
 
-	// ckptMu serializes Checkpoint calls (never held with mu or syncMu).
+	// ckptMu serializes Checkpoint calls. It is the outermost Log lock:
+	// held across Seal and DropThrough (which take syncMu and mu), never
+	// acquired while either is held.
 	ckptMu sync.Mutex
 
 	tickQuit chan struct{} // SyncInterval flusher lifecycle
@@ -214,6 +226,8 @@ type Log struct {
 // Open creates or opens the log directory, repairing a torn tail so the
 // log is ready to append. Existing entries are not interpreted; use
 // Recover or Replay to read them back.
+//
+//ptm:exclusive constructor: the Log is not shared until Open returns
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
@@ -471,7 +485,6 @@ func (l *Log) poison(err error) error {
 // group-commit invariant — syncing the active file covers all unsynced
 // entries — holds across the switch.
 func (l *Log) rotateLocked() error {
-	//ptmlint:allow lockedfields -- the Locked suffix is the contract: every caller already holds l.mu
 	f, idx := l.f, l.segIndex
 	if l.opts.Sync != SyncNever {
 		if err := f.Sync(); err != nil {
@@ -510,7 +523,6 @@ func (l *Log) openSegment(idx uint64) error {
 			return err
 		}
 	}
-	//ptmlint:allow lockedfields -- callers hold l.mu, except Open before the log is shared
 	l.f, l.segIndex, l.segSize = f, idx, segHeader
 	return nil
 }

@@ -6,8 +6,14 @@
 #   2. go vet              (toolchain static checks)
 #   3. ptmlint             (repo-specific invariants; see DESIGN.md),
 #                          archiving a SARIF 2.1.0 report for CI surfaces
-#   4. go test -race       (unit + integration tests under the race detector)
-#   5. fuzz smoke          (a few seconds per fuzz target, seeds + mutation)
+#   4. concguard           (the four concurrency-contract rules alone,
+#                          archiving their SARIF report separately so the
+#                          lock-discipline gate is auditable on its own)
+#   5. go test -race       (unit + integration tests under the race detector)
+#   6. race stress smoke   (the WAL and RSU concurrency stress tests again
+#                          under -race -count=2 — the dynamic complement of
+#                          the static concguard contracts)
+#   7. fuzz smoke          (a few seconds per fuzz target, seeds + mutation)
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target fuzzing budget for the smoke stage (default 5s)
@@ -41,8 +47,20 @@ if ! go run ./cmd/ptmlint -format=sarif ./... > "$ARTIFACT_DIR/ptmlint.sarif"; t
 	exit "$status"
 fi
 
+step "concguard (lockorder, guardedby, atomicmix, rcu)"
+if ! go run ./cmd/ptmlint -rules=lockorder,guardedby,atomicmix,rcu -format=sarif ./... > "$ARTIFACT_DIR/concguard.sarif"; then
+	status=$?
+	step "concguard findings (see $ARTIFACT_DIR/concguard.sarif)"
+	go run ./cmd/ptmlint -rules=lockorder,guardedby,atomicmix,rcu ./... || true
+	exit "$status"
+fi
+
 step "go test -race ./..."
 go test -race ./...
+
+step "race stress smoke (-race -count=2, WAL group commit + RSU ingest)"
+go test -race -count=2 -run '^TestGroupCommitConcurrentAppends$' ./internal/wal/
+go test -race -count=2 -run '^(TestConcurrentReportStorm|TestReportsRaceRotation|TestDifferentialAtomicVsSequential)$' ./internal/rsu/
 
 # Archive the committed benchmark baselines (regenerate with `make
 # bench-json` / `make bench-ingest`) next to the lint report so CI
