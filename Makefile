@@ -18,10 +18,11 @@ lint:
 	$(GO) run ./cmd/ptmlint ./...
 
 # lint-fast runs only the syntax-level per-package rules — everything
-# except the whole-program analyses (privflow taint tracking and the four
-# concguard concurrency rules), whose interprocedural fixpoints dominate
-# lint wall time. Use it as the editor/pre-commit loop; `make lint` and
-# scripts/check.sh remain the full gate.
+# except the whole-program analyses (privflow taint tracking, the four
+# concguard concurrency rules, and the three perfguard performance
+# contracts), whose interprocedural fixpoints and compiler-diagnostic
+# harvesting dominate lint wall time. Use it as the editor/pre-commit
+# loop; `make lint` and scripts/check.sh remain the full gate.
 lint-fast:
 	$(GO) run ./cmd/ptmlint -rules=cryptorand,pow2size,lockedfields,errdrop,goroutinehygiene ./...
 
@@ -32,13 +33,17 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json records the join-kernel benchmark baseline (fused vs
-# materialized) as BENCH_pr3.json at the repo root. scripts/check.sh
-# archives the committed baseline into $$ARTIFACT_DIR.
+# materialized) at the repo root. scripts/check.sh archives the committed
+# baseline into $$ARTIFACT_DIR. Override BENCH_OUT to write elsewhere
+# (e.g. `make bench-json BENCH_OUT=/tmp/after.json` for an A/B diff
+# against the committed file).
+BENCH_OUT ?= BENCH_pr3.json
+
 bench-json:
 	$(GO) test -run=NONE \
 		-bench='BenchmarkJoinPoint|BenchmarkJoinPointToPoint|BenchmarkEstimatePoint|BenchmarkAndAll' \
 		-benchmem ./internal/core/ ./internal/bitmap/ \
-		| $(GO) run ./cmd/benchjson > BENCH_pr3.json
+		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # bench-ingest records the ingest-plane baseline (mutex vs atomic RSU
 # ingest, single vs batched vs pipelined upload, global vs sharded central

@@ -14,10 +14,17 @@
 // through the vhash index reduction), and the concguard concurrency
 // contracts (lockorder, guardedby, atomicmix, rcu: //ptm:* annotations
 // on the lock-free ingest and durability planes, checked
-// interprocedurally with acquisition-path witnesses). Every run also
-// audits //ptmlint:allow suppressions: a directive whose rule no longer
-// fires on its line is itself a stale-directive finding, so the escape
-// hatch cannot rot. See DESIGN.md for the full rule table.
+// interprocedurally with acquisition-path witnesses), plus the perfguard
+// performance contracts (noalloc, inline, bce: //ptm:noalloc,
+// //ptm:inline, and //ptm:nobce annotations on hot paths, checked
+// against the Go compiler's own escape-analysis, inlining, and
+// bounds-check-elimination diagnostics, with escape-flow witness
+// traces). Every run also audits directives: a //ptmlint:allow whose
+// rule no longer fires on its line is a stale-directive finding, and a
+// //ptm: comment naming no known fact kind is an unknown-directive
+// finding (with a did-you-mean suggestion), so neither the escape hatch
+// nor the annotation language can rot. See DESIGN.md for the full rule
+// table.
 //
 //	ptmlint [-rules cryptorand,privflow,...] [-format text|json|sarif] [-list] [packages]
 package main
@@ -52,6 +59,8 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		p.Printf("%-18s %s\n", lint.StaleDirective,
 			"(always on) //ptmlint:allow directives must still suppress a finding")
+		p.Printf("%-18s %s\n", lint.UnknownDirective,
+			"(always on) //ptm: directives must name a known fact kind")
 		return exitCode(0, p)
 	}
 	switch *format {

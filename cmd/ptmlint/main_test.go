@@ -96,11 +96,63 @@ func TestRunList(t *testing.T) {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
 	for _, want := range []string{
-		"privflow", "lockorder", "guardedby", "atomicmix", "rcu", lint.StaleDirective,
+		"privflow", "lockorder", "guardedby", "atomicmix", "rcu",
+		"noalloc", "inline", "bce",
+		lint.StaleDirective, lint.UnknownDirective,
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunPerfguardSARIF runs the noalloc rule over its fixture and pins
+// the SARIF rendering: findings carry the compiler's escape-flow witness
+// as a codeFlow, the same shape CI annotation surfaces consume.
+func TestRunPerfguardSARIF(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-rules", "noalloc", "-format", "sarif",
+		"ptm/internal/lint/testdata/src/perfguard/noalloc"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	var doc struct {
+		Runs []struct {
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				CodeFlows []struct {
+					ThreadFlows []struct {
+						Locations []struct {
+							Location struct {
+								Message *struct {
+									Text string `json:"text"`
+								} `json:"message"`
+							} `json:"location"`
+						} `json:"locations"`
+					} `json:"threadFlows"`
+				} `json:"codeFlows"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("stdout is not SARIF JSON: %v", err)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Fatalf("SARIF results missing:\n%s", out.String())
+	}
+	flows := 0
+	for _, r := range doc.Runs[0].Results {
+		if r.RuleID != "noalloc" {
+			t.Errorf("result carries rule %q, want noalloc", r.RuleID)
+		}
+		for _, cf := range r.CodeFlows {
+			for _, tf := range cf.ThreadFlows {
+				flows += len(tf.Locations)
+			}
+		}
+	}
+	if flows == 0 {
+		t.Errorf("no codeFlow witness hops in SARIF output:\n%s", out.String())
 	}
 }
 

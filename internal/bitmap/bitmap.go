@@ -65,9 +65,15 @@ func MustNew(n int) *Bitmap {
 }
 
 // Size returns the number of bits.
+//
+//ptm:noalloc
+//ptm:inline
 func (b *Bitmap) Size() int { return b.nbits }
 
 // Words returns the number of 64-bit words backing the bitmap.
+//
+//ptm:noalloc
+//ptm:inline
 func (b *Bitmap) Words() int { return len(b.words) }
 
 // Set sets bit i to one. Callers index with a hash value already reduced
@@ -76,6 +82,8 @@ func (b *Bitmap) Words() int { return len(b.words) }
 //
 //ptm:sink bitmap write
 //ptm:exclusive single-writer ingest path; concurrent folds use AtomicSet
+//ptm:noalloc
+//ptm:inline
 func (b *Bitmap) Set(i uint64) {
 	i &= uint64(b.nbits - 1) // nbits is a power of two
 	b.words[i/wordBits] |= 1 << (i % wordBits)
@@ -91,6 +99,8 @@ func (b *Bitmap) Set(i uint64) {
 // rotation provides one before a record leaves the ingest plane.
 //
 //ptm:sink bitmap write
+//ptm:noalloc
+//ptm:inline
 func (b *Bitmap) AtomicSet(i uint64) {
 	i &= uint64(b.nbits - 1) // nbits is a power of two
 	atomic.OrUint64(&b.words[i/wordBits], 1<<(i%wordBits))
@@ -98,6 +108,9 @@ func (b *Bitmap) AtomicSet(i uint64) {
 
 // AtomicGet reports whether bit i is one, using an atomic load so it may
 // run concurrently with AtomicSet writers.
+//
+//ptm:noalloc
+//ptm:inline
 func (b *Bitmap) AtomicGet(i uint64) bool {
 	i &= uint64(b.nbits - 1)
 	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(i%wordBits)) != 0
@@ -109,6 +122,8 @@ func (b *Bitmap) AtomicGet(i uint64) bool {
 // it may or may not be. (Bits are never cleared concurrently, so the
 // result is always the exact count of some moment between entry and
 // return.)
+//
+//ptm:noalloc
 func (b *Bitmap) AtomicOnes() int {
 	n := 0
 	for i := range b.words {
@@ -119,6 +134,8 @@ func (b *Bitmap) AtomicOnes() int {
 
 // AtomicFractionOne is FractionOne over an AtomicOnes snapshot, for
 // observability of a bitmap that is still being written.
+//
+//ptm:noalloc
 func (b *Bitmap) AtomicFractionOne() float64 {
 	return float64(b.AtomicOnes()) / float64(b.nbits)
 }
@@ -126,6 +143,8 @@ func (b *Bitmap) AtomicFractionOne() float64 {
 // Get reports whether bit i is one. Indexes are reduced modulo Size.
 //
 //ptm:exclusive quiescent read; concurrent readers use AtomicGet
+//ptm:noalloc
+//ptm:inline
 func (b *Bitmap) Get(i uint64) bool {
 	i &= uint64(b.nbits - 1)
 	return b.words[i/wordBits]&(1<<(i%wordBits)) != 0
@@ -143,6 +162,7 @@ func (b *Bitmap) Reset() {
 // Ones returns the number of one bits.
 //
 //ptm:exclusive quiescent read after the rotation happens-before edge; live counts use AtomicOnes
+//ptm:noalloc
 func (b *Bitmap) Ones() int {
 	n := 0
 	for _, w := range b.words {
@@ -152,15 +172,21 @@ func (b *Bitmap) Ones() int {
 }
 
 // Zeros returns the number of zero bits.
+//
+//ptm:noalloc
 func (b *Bitmap) Zeros() int { return b.nbits - b.Ones() }
 
 // FractionZero returns V0, the fraction of bits that are zero, as used by
 // the linear-counting estimator of Eq. (1).
+//
+//ptm:noalloc
 func (b *Bitmap) FractionZero() float64 {
 	return float64(b.Zeros()) / float64(b.nbits)
 }
 
 // FractionOne returns V1, the fraction of bits that are one (Eq. 8).
+//
+//ptm:noalloc
 func (b *Bitmap) FractionOne() float64 {
 	return float64(b.Ones()) / float64(b.nbits)
 }

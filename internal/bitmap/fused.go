@@ -40,10 +40,14 @@ var ErrJoinEmpty = errors.New("bitmap: join of zero bitmaps")
 // modular index a mask.
 //
 //ptm:exclusive join plane reads sealed records
+//ptm:noalloc
+//ptm:inline
 func (b *Bitmap) word(i int) uint64 { return b.words[i&(len(b.words)-1)] }
 
 // MaxSize returns the largest Size among the operands, the common join
 // size m of Section III-A. It returns ErrJoinEmpty for an empty list.
+//
+//ptm:noalloc
 func MaxSize(ms []*Bitmap) (int, error) {
 	if len(ms) == 0 {
 		return 0, ErrJoinEmpty
@@ -61,16 +65,23 @@ func MaxSize(ms []*Bitmap) (int, error) {
 // the operands virtually expanded to the largest size m — together with m
 // itself, without allocating anything. This is the fused kernel behind
 // the V1 and V0 fractions of Eqs. (8) and (12).
+//
+//ptm:noalloc
+//ptm:inline
 func AndOnes(ms []*Bitmap) (ones, m int, err error) {
 	return joinOnes(ms, true)
 }
 
 // OrOnes is AndOnes for the OR join (the second-level join of
 // Section IV-A).
+//
+//ptm:noalloc
+//ptm:inline
 func OrOnes(ms []*Bitmap) (ones, m int, err error) {
 	return joinOnes(ms, false)
 }
 
+//ptm:noalloc
 func joinOnes(ms []*Bitmap, and bool) (ones, m int, err error) {
 	m, err = MaxSize(ms)
 	if err != nil {
@@ -102,19 +113,27 @@ func joinOnes(ms []*Bitmap, and bool) (ones, m int, err error) {
 }
 
 // joinOnes2 is the two-operand fast path: every estimator's final
-// E_a ∧ E_b and E* ∨ E′* step lands here.
+// E_a ∧ E_b and E* ∨ E′* step lands here. The emptiness guard is
+// unreachable (New enforces >= 64 bits) but hands the prove pass the
+// len > 0 fact it needs to eliminate both masked bounds checks.
 //
 //ptm:exclusive join plane reads sealed records
+//ptm:noalloc
+//ptm:nobce
 func joinOnes2(a, b *Bitmap, words int, and bool) int {
+	aw, bw := a.words, b.words
+	if len(aw) == 0 || len(bw) == 0 {
+		return 0
+	}
+	am, bm := len(aw)-1, len(bw)-1
 	ones := 0
-	am, bm := len(a.words)-1, len(b.words)-1
 	if and {
 		for i := 0; i < words; i++ {
-			ones += bits.OnesCount64(a.words[i&am] & b.words[i&bm])
+			ones += bits.OnesCount64(aw[i&am] & bw[i&bm])
 		}
 	} else {
 		for i := 0; i < words; i++ {
-			ones += bits.OnesCount64(a.words[i&am] | b.words[i&bm])
+			ones += bits.OnesCount64(aw[i&am] | bw[i&bm])
 		}
 	}
 	return ones
@@ -129,6 +148,8 @@ func joinOnes2(a, b *Bitmap, words int, and bool) int {
 // smaller operand (impossible anyway: sizes differ).
 //
 //ptm:sink bitmap write
+//ptm:noalloc
+//ptm:inline
 func AndAllInto(dst *Bitmap, ms []*Bitmap) (ones int, err error) {
 	return joinInto(dst, ms, true)
 }
@@ -136,6 +157,8 @@ func AndAllInto(dst *Bitmap, ms []*Bitmap) (ones int, err error) {
 // OrAllInto is AndAllInto for the OR join.
 //
 //ptm:sink bitmap write
+//ptm:noalloc
+//ptm:inline
 func OrAllInto(dst *Bitmap, ms []*Bitmap) (ones int, err error) {
 	return joinInto(dst, ms, false)
 }
@@ -143,11 +166,28 @@ func OrAllInto(dst *Bitmap, ms []*Bitmap) (ones int, err error) {
 // aliases reports whether two bitmaps share backing storage. Bitmaps are
 // never empty (New enforces >= 64 bits), so first-word identity suffices.
 //
+// The emptiness guards are unreachable (New enforces >= 64 bits) but let
+// the prove pass drop the bounds checks here and at every inlined copy
+// inside the //ptm:nobce join kernels.
+//
 //ptm:exclusive address identity check; no word is read or written
-func aliases(a, b *Bitmap) bool { return &a.words[0] == &b.words[0] }
+//ptm:noalloc
+//ptm:inline
+//ptm:nobce
+func aliases(a, b *Bitmap) bool {
+	aw, bw := a.words, b.words
+	return len(aw) > 0 && len(bw) > 0 && &aw[0] == &bw[0]
+}
 
 //ptm:exclusive join plane operates on sealed records and a caller-owned dst
+//ptm:noalloc
+//ptm:nobce
 func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
+	// MaxSize would catch the empty list too, but the explicit guard is
+	// what lets prove see len(ms) >= 1 at the ms[0] and ms[1:] uses.
+	if len(ms) == 0 {
+		return 0, ErrJoinEmpty
+	}
 	m, err := MaxSize(ms)
 	if err != nil {
 		return 0, err
@@ -161,6 +201,12 @@ func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	// modular indexing. It overwrites dst up front, so an operand aliasing
 	// dst (allowed for equal sizes) falls back to the word-at-a-time loop,
 	// which reads every operand before storing.
+	//
+	// The block loops walk a shrinking rem suffix instead of advancing an
+	// offset: `rem[:len(ow)]` under the loop condition len(rem) >= len(ow)
+	// is a fact the prove pass consumes directly, so every block and every
+	// word access below compiles bounds-check-free (//ptm:nobce), which
+	// the offset form's dw[off:off+len(ow)] slicing did not.
 	for _, o := range ms[1:] {
 		if aliases(dst, o) {
 			return joinIntoByWord(dst, ms, and)
@@ -169,8 +215,8 @@ func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	dw := dst.words
 	w0 := ms[0].words
 	if !aliases(dst, ms[0]) || len(dw) != len(w0) {
-		for off := 0; off < len(dw); off += len(w0) {
-			copy(dw[off:off+len(w0)], w0)
+		for rem := dw; len(rem) >= len(w0); rem = rem[len(w0):] {
+			copy(rem[:len(w0)], w0)
 		}
 	}
 	if len(ms) == 1 {
@@ -181,8 +227,8 @@ func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	}
 	for _, o := range ms[1 : len(ms)-1] {
 		ow := o.words
-		for off := 0; off < len(dw); off += len(ow) {
-			blk := dw[off : off+len(ow)]
+		for rem := dw; len(rem) >= len(ow); rem = rem[len(ow):] {
+			blk := rem[:len(ow)]
 			if and {
 				for i, w := range ow {
 					blk[i] &= w
@@ -197,8 +243,8 @@ func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	// The last operand's pass fuses the popcount, so the join is still a
 	// single store and a single count per output word overall.
 	ow := ms[len(ms)-1].words
-	for off := 0; off < len(dw); off += len(ow) {
-		blk := dw[off : off+len(ow)]
+	for rem := dw; len(rem) >= len(ow); rem = rem[len(ow):] {
+		blk := rem[:len(ow)]
 		if and {
 			for i, w := range ow {
 				v := blk[i] & w
@@ -221,6 +267,7 @@ func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 // stored, so dst may alias any equal-size operand.
 //
 //ptm:exclusive join plane operates on sealed records and a caller-owned dst
+//ptm:noalloc
 func joinIntoByWord(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	first := ms[0]
 	rest := ms[1:]

@@ -1,0 +1,42 @@
+//go:build !race
+
+// Zero-allocation regression tests for the //ptm:noalloc estimator hot
+// paths, mirroring the perfguard contracts proved at lint time. The file
+// is excluded from -race builds because race instrumentation introduces
+// allocations unrelated to the contracts under test.
+
+package core
+
+import "testing"
+
+func TestEstimatorHotPathsDoNotAllocate(t *testing.T) {
+	pool := newIDPool(t, 2, 42)
+	common := pool.take(50)
+	set := makeSet(t, pool, 7, 1<<10, common, []int{40, 40, 40, 40})
+	bs := set.Bitmaps()
+	pa, pb := SplitHalves.split(bs)
+	m := set.MaxSize()
+	var sink float64
+
+	if n := testing.AllocsPerRun(100, func() {
+		va0, vb0, v1, err := pointFractions(bs, pa, pb, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = va0 + vb0 + v1
+	}); n != 0 {
+		t.Errorf("pointFractions allocated %.1f times per run, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		est, err := EstimatePointBaseline(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = est
+	}); n != 0 {
+		t.Errorf("EstimatePointBaseline allocated %.1f times per run, want 0", n)
+	}
+
+	_ = sink
+}

@@ -52,22 +52,39 @@ func EstimatePointOpts(set *record.Set, strategy SplitStrategy) (*PointResult, e
 	bs := set.Bitmaps()
 	m := set.MaxSize()
 	pa, pb := strategy.split(bs)
+	va0, vb0, v1, err := pointFractions(bs, pa, pb, m)
+	if err != nil {
+		return nil, err
+	}
+	return pointResultFromFractions(m, set.Len(), va0, vb0, v1)
+}
+
+// pointFractions measures the three bit fractions of Eq. (12) — the zero
+// fractions of the subset joins E_a and E_b and the one fraction of E* —
+// with fused AND+popcount kernels. This is the measurement hot path of
+// the point estimator: it runs once per query over every record word,
+// and it must stay allocation-free because the kernels it drives are.
+// The AndOnes calls happen in the order pa, pb, bs so the floating-point
+// results match the pre-refactor estimator bit for bit.
+//
+//ptm:noalloc
+func pointFractions(bs, pa, pb []*bitmap.Bitmap, m int) (va0, vb0, v1 float64, err error) {
 	onesA, mA, err := bitmap.AndOnes(pa)
 	if err != nil {
-		return nil, fmt.Errorf("core: joining Π_a: %w", err)
+		return 0, 0, 0, fmt.Errorf("core: joining Π_a: %w", err)
 	}
 	onesB, mB, err := bitmap.AndOnes(pb)
 	if err != nil {
-		return nil, fmt.Errorf("core: joining Π_b: %w", err)
+		return 0, 0, 0, fmt.Errorf("core: joining Π_b: %w", err)
 	}
 	onesStar, _, err := bitmap.AndOnes(bs)
 	if err != nil {
-		return nil, fmt.Errorf("core: joining E*: %w", err)
+		return 0, 0, 0, fmt.Errorf("core: joining E*: %w", err)
 	}
-	va0 := float64(mA-onesA) / float64(mA)
-	vb0 := float64(mB-onesB) / float64(mB)
-	v1 := float64(onesStar) / float64(m)
-	return pointResultFromFractions(m, set.Len(), va0, vb0, v1)
+	va0 = float64(mA-onesA) / float64(mA)
+	vb0 = float64(mB-onesB) / float64(mB)
+	v1 = float64(onesStar) / float64(m)
+	return va0, vb0, v1, nil
 }
 
 func estimateFromPointJoin(j *PointJoin) (*PointResult, error) {
@@ -114,6 +131,8 @@ func pointResultFromFractions(m, t int, va0, vb0, v1 float64) (*PointResult, err
 // collisions also leave ones in E*; Fig. 4 quantifies the gap. Like
 // EstimatePointOpts, it is a single fused count — E* never exists in
 // memory.
+//
+//ptm:noalloc
 func EstimatePointBaseline(set *record.Set) (float64, error) {
 	if set.Len() < 2 {
 		return 0, fmt.Errorf("%w: got %d", ErrTooFewPeriods, set.Len())

@@ -146,7 +146,8 @@ func sarifLoc(rel Relativizer, file string, line int, note string) sarifLocation
 }
 
 // FormatSARIF renders diagnostics as a SARIF 2.1.0 log. analyzers supply
-// the rule metadata; the stale-directive pseudo-rule is always included.
+// the rule metadata; the stale-directive and unknown-directive
+// pseudo-rules are always included.
 func FormatSARIF(diags []Diagnostic, analyzers []*Analyzer, rel Relativizer) ([]byte, error) {
 	driver := sarifDriver{
 		Name:           "ptmlint",
@@ -158,6 +159,9 @@ func FormatSARIF(diags []Diagnostic, analyzers []*Analyzer, rel Relativizer) ([]
 	driver.Rules = append(driver.Rules, sarifRule{
 		ID:               StaleDirective,
 		ShortDescription: sarifMessage{Text: "//ptmlint:allow directives must still suppress a finding"},
+	}, sarifRule{
+		ID:               UnknownDirective,
+		ShortDescription: sarifMessage{Text: "//ptm: directives must name a known fact kind"},
 	})
 
 	results := make([]sarifResult, 0, len(diags))

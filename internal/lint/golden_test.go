@@ -86,6 +86,16 @@ func TestGolden(t *testing.T) {
 		{name: "concguard-rcu", dir: "concguard/rcu", analyzer: RCU()},
 		{name: "stale-directive-concguard", dir: "staleconctest",
 			analyzer: GuardedBy(), audit: true},
+		{name: "perfguard-noalloc", dir: "perfguard/noalloc", analyzer: Noalloc()},
+		{name: "perfguard-inline", dir: "perfguard/inline", analyzer: Inline()},
+		{name: "perfguard-bce", dir: "perfguard/bce", analyzer: BCE()},
+		{name: "perfguard-clean-noalloc", dir: "perfguard/clean",
+			analyzer: Noalloc(), wantNone: true},
+		{name: "perfguard-clean-inline", dir: "perfguard/clean",
+			analyzer: Inline(), wantNone: true},
+		{name: "perfguard-clean-bce", dir: "perfguard/clean",
+			analyzer: BCE(), wantNone: true},
+		{name: "unknown-directive", dir: "badfacttest", analyzer: ErrDrop(), audit: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,7 +123,8 @@ func TestGolden(t *testing.T) {
 				t.Fatal("fixture has no want annotations")
 			}
 			for _, d := range diags {
-				if d.Rule != tc.analyzer.Name && !(tc.audit && d.Rule == StaleDirective) {
+				if d.Rule != tc.analyzer.Name &&
+					!(tc.audit && (d.Rule == StaleDirective || d.Rule == UnknownDirective)) {
 					t.Errorf("diagnostic %s carries rule %q, want %q", d, d.Rule, tc.analyzer.Name)
 				}
 				matched := false

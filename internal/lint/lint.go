@@ -181,6 +181,20 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][
 // reports //ptmlint:allow comments that no longer suppress anything.
 const StaleDirective = "stale-directive"
 
+// UnknownDirective is the pseudo-rule name under which the directive
+// audit reports //ptm: annotations whose kind no analyzer understands —
+// a typo like //ptm:guardedBy would otherwise silently disable the
+// contract it was meant to declare.
+const UnknownDirective = "unknown-directive"
+
+// knownPtmFacts lists every //ptm:<kind> annotation some analyzer
+// consumes. The audit checks directive comments against this set.
+var knownPtmFacts = []string{
+	factSource, factSink, factSanitizer, // privflow
+	factLockOrder, factGuardedBy, factRCU, factExclusive, factBlocking, // concguard
+	factNoalloc, factInline, factNoBCE, // perfguard
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by file, line, and rule. Per-package analyzers skip
 // dependency packages (loaded only for their cross-package facts);
@@ -244,6 +258,7 @@ func run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, audit bool
 	}
 	if audit {
 		kept = append(kept, auditDirectives(pkgs, analyzers, used)...)
+		kept = append(kept, auditFacts(fset, pkgs)...)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -305,6 +320,82 @@ func auditDirectives(pkgs []*Package, analyzers []*Analyzer, used map[string]map
 	return out
 }
 
+// auditFacts reports //ptm: annotation comments whose kind no analyzer
+// understands. A comment is a fact candidate when its text directly
+// follows the // with "ptm:" (the same syntax ptmFact accepts); its kind
+// is the text up to the first space. Unknown kinds within edit distance
+// 2 of a known fact get a "did you mean" suggestion.
+func auditFacts(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	known := make(map[string]bool, len(knownPtmFacts))
+	for _, k := range knownPtmFacts {
+		known[k] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Dep {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, "ptm:") {
+						continue
+					}
+					kind, _, _ := strings.Cut(text, " ")
+					kind, _, _ = strings.Cut(kind, "\t")
+					if known[kind] {
+						continue
+					}
+					msg := fmt.Sprintf("unknown //ptm: directive %q", kind)
+					if best := closestFact(kind); best != "" {
+						msg += fmt.Sprintf(" (did you mean %q?)", best)
+					}
+					out = append(out, Diagnostic{
+						Pos:     fset.Position(c.Pos()),
+						Rule:    UnknownDirective,
+						Message: msg,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// closestFact returns the known fact kind within Levenshtein distance 2
+// of kind (ASCII-case-insensitively), or "" when nothing is close.
+func closestFact(kind string) string {
+	best, bestDist := "", 3
+	for _, k := range knownPtmFacts {
+		if d := editDistance(strings.ToLower(kind), strings.ToLower(k)); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+// editDistance is the plain Levenshtein distance between two strings.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
 func byFile(pkgs []*Package, filename string) *Package {
 	for _, p := range pkgs {
 		if _, ok := p.allow[filename]; ok {
@@ -332,6 +423,9 @@ func All() []*Analyzer {
 		GuardedBy(),
 		AtomicMix(),
 		RCU(),
+		Noalloc(),
+		Inline(),
+		BCE(),
 	}
 }
 

@@ -38,6 +38,12 @@ type Package struct {
 
 	fileNames []string
 	allow     map[string]map[int][]string
+	// exports maps import paths to compiled export-data files for every
+	// package in this load (shared across the loaded set). The perfguard
+	// rules use it to assemble an -importcfg for direct `go tool compile`
+	// invocations, which is the only way to re-run the compiler's own
+	// escape/inline/bce diagnostics without the build cache eliding them.
+	exports map[string]string
 }
 
 // Loader loads and type-checks packages of the enclosing module. The
@@ -110,6 +116,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		pkg.Dep = p.DepOnly
+		pkg.exports = exports
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestPerfguardParse pins the compiler-diagnostic grammar pgParse
+// consumes: escape groups with flow traces, allocation-site summaries
+// (deduplicated against their group), inliner verdicts, prove-pass
+// bounds-check residues, and noise lines that must be ignored.
+func TestPerfguardParse(t *testing.T) {
+	const raw = `x.go:10:12: s escapes to heap:
+x.go:10:12:   flow: ~r0 = &{storage for s}:
+x.go:10:12:     from s := make([]int, n) (spill) at x.go:10:12
+x.go:10:12:     from return s (return) at x.go:11:2
+x.go:10:12: make([]int, n) escapes to heap
+x.go:20:6: moved to heap: v
+x.go:30:6: can inline Small with cost 7 as: func(int) int { return n + 1 }
+x.go:40:6: cannot inline Big: function too complex: cost 117 exceeds budget 80
+x.go:50:9: Found IsInBounds
+x.go:51:14: Found IsSliceInBounds
+x.go:60:6: inlining call to Small
+x.go:61:7: leaking param: b
+x.go:62:7: p does not escape
+not a diagnostic line
+`
+	out := &pgDiag{inlines: make(map[string]pgInline)}
+	pgParse(out, raw)
+
+	if len(out.escapes) != 2 {
+		t.Fatalf("escapes = %d, want 2 (group deduped with its summary)", len(out.escapes))
+	}
+	e := out.escapes[0]
+	if e.pos.Line != 10 || e.what != "s escapes to heap" {
+		t.Errorf("escape[0] = %d %q", e.pos.Line, e.what)
+	}
+	if len(e.flow) != 3 {
+		t.Fatalf("flow hops = %d, want 3", len(e.flow))
+	}
+	if e.flow[2].Pos.Line != 11 || !strings.Contains(e.flow[2].Note, "return s") {
+		t.Errorf("flow[2] = %d %q, want the 'at'-relocated return hop", e.flow[2].Pos.Line, e.flow[2].Note)
+	}
+	if out.escapes[1].pos.Line != 20 || out.escapes[1].what != "moved to heap: v" {
+		t.Errorf("escape[1] = %d %q", out.escapes[1].pos.Line, out.escapes[1].what)
+	}
+
+	if v, ok := out.inlines["x.go:30"]; !ok || !v.can {
+		t.Errorf("inline verdict at x.go:30 = %+v, want can=true", v)
+	}
+	if v, ok := out.inlines["x.go:40"]; !ok || v.can || !strings.Contains(v.text, "cost 117") {
+		t.Errorf("inline verdict at x.go:40 = %+v, want can=false with quoted cost", v)
+	}
+
+	if len(out.bounds) != 2 {
+		t.Fatalf("bounds = %d, want 2", len(out.bounds))
+	}
+	if out.bounds[0].kind != "IsInBounds" || out.bounds[0].pos.Column != 9 {
+		t.Errorf("bounds[0] = %+v", out.bounds[0])
+	}
+	if out.bounds[1].kind != "IsSliceInBounds" || out.bounds[1].pos.Line != 51 {
+		t.Errorf("bounds[1] = %+v", out.bounds[1])
+	}
+}
+
+// TestPerfguardParseOrphanFlow checks that indented trace lines with no
+// open escape group (the group was closed by an unindented line) are
+// dropped rather than attached to the wrong finding.
+func TestPerfguardParseOrphanFlow(t *testing.T) {
+	const raw = `x.go:10:12: s escapes to heap:
+x.go:20:6: moved to heap: v
+x.go:10:12:   flow: stray trace after the group closed
+`
+	out := &pgDiag{inlines: make(map[string]pgInline)}
+	pgParse(out, raw)
+	for _, e := range out.escapes {
+		if len(e.flow) != 0 {
+			t.Errorf("escape %q picked up an orphan flow hop: %+v", e.what, e.flow)
+		}
+	}
+}
+
+// TestPerfguardRangeContains pins the filename check: a position with
+// matching line/column in a different file must not fall inside a range
+// (inlining relocates callee diagnostics across files).
+func TestPerfguardRangeContains(t *testing.T) {
+	r := pgRange{
+		start: pos("a.go", 5, 1),
+		end:   pos("a.go", 10, 2),
+	}
+	if !r.contains(pos("a.go", 7, 3)) {
+		t.Error("in-range position in the same file not contained")
+	}
+	if r.contains(pos("b.go", 7, 3)) {
+		t.Error("position in a different file contained")
+	}
+	if r.contains(pos("a.go", 11, 1)) {
+		t.Error("position past the range contained")
+	}
+}
+
+// TestPerfguardColdRegions loads the noalloc fixture and checks the
+// cold-region classifier: Guarded's error-returning block is cold (its
+// fmt.Errorf is exempt), and the hot return is not.
+func TestPerfguardColdRegions(t *testing.T) {
+	loader := &Loader{}
+	pkgs, err := loader.Load("./testdata/src/perfguard/noalloc")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if pkg.Dep {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Name.Name != "Guarded" {
+					continue
+				}
+				cold := pgColdRegions(pkg, decl, loader.Fset())
+				if len(cold) != 1 {
+					t.Fatalf("Guarded cold regions = %d, want 1", len(cold))
+				}
+				errLine := cold[0].start.Line
+				body := loader.Fset().Position(decl.Body.Lbrace).Line
+				if errLine <= body {
+					t.Errorf("cold region starts at %d, before the guard block", errLine)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("fixture function Guarded not found")
+}
+
+// TestPerfguardTrusted pins the allocation-free table's matching rules.
+func TestPerfguardTrusted(t *testing.T) {
+	for key, want := range map[string]bool{
+		"math.Log":                               true,
+		"math/bits.OnesCount64":                  true,
+		"sync/atomic.LoadUint64":                 true,
+		"encoding/binary.littleEndian.PutUint32": true,
+		"sync.Mutex.Lock":                        true,
+		"os.File.Write":                          true,
+		"bufio.Writer.Write":                     true,
+		"hash/crc32.Checksum":                    true,
+		"errors.Is":                              true,
+		"fmt.Errorf":                             false,
+		"os.OpenFile":                            false,
+		"io.Writer.Write":                        false,
+		"math/rand.Int":                          false, // "math." prefix must not swallow math/rand
+	} {
+		if got := pgTrusted(key); got != want {
+			t.Errorf("pgTrusted(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func pos(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}

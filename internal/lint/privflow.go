@@ -59,16 +59,16 @@ var builtinSinks = map[string]string{
 	"fmt.Fprint": "formatting", "fmt.Fprintf": "formatting", "fmt.Fprintln": "formatting",
 	"fmt.Errorf": "formatting", "fmt.Append": "formatting", "fmt.Appendf": "formatting",
 	"fmt.Appendln": "formatting",
-	"log.Print":   "logging", "log.Printf": "logging", "log.Println": "logging",
+	"log.Print":    "logging", "log.Printf": "logging", "log.Println": "logging",
 	"log.Fatal": "logging", "log.Fatalf": "logging", "log.Fatalln": "logging",
 	"log.Panic": "logging", "log.Panicf": "logging", "log.Panicln": "logging",
-	"log.Output":         "logging",
-	"log.Logger.Print":   "logging", "log.Logger.Printf": "logging", "log.Logger.Println": "logging",
+	"log.Output":       "logging",
+	"log.Logger.Print": "logging", "log.Logger.Printf": "logging", "log.Logger.Println": "logging",
 	"log.Logger.Fatal": "logging", "log.Logger.Fatalf": "logging", "log.Logger.Fatalln": "logging",
 	"log.Logger.Panic": "logging", "log.Logger.Panicf": "logging", "log.Logger.Panicln": "logging",
-	"log.Logger.Output":           "logging",
-	"encoding/json.Marshal":       "encoding",
-	"encoding/json.MarshalIndent": "encoding",
+	"log.Logger.Output":            "logging",
+	"encoding/json.Marshal":        "encoding",
+	"encoding/json.MarshalIndent":  "encoding",
 	"encoding/json.Encoder.Encode": "encoding",
 	"encoding/gob.Encoder.Encode":  "encoding",
 	"encoding/xml.Marshal":         "encoding",
@@ -102,10 +102,10 @@ var builtinSourceTypes = map[string]string{
 
 // Built-in tainted fields (also annotated in place in their packages).
 var builtinSourceFields = map[string]string{
-	"ptm/internal/vhash.Identity.id": "plaintext vehicle identity v",
-	"ptm/internal/vhash.Identity.kv": "vehicle private key Kv",
-	"ptm/internal/vhash.Identity.c":  "vehicle constant array C",
-	"ptm/internal/pki.Authority.key": "authority signing key",
+	"ptm/internal/vhash.Identity.id":  "plaintext vehicle identity v",
+	"ptm/internal/vhash.Identity.kv":  "vehicle private key Kv",
+	"ptm/internal/vhash.Identity.c":   "vehicle constant array C",
+	"ptm/internal/pki.Authority.key":  "authority signing key",
 	"ptm/internal/pki.Credential.key": "RSU signing key",
 }
 

@@ -1,0 +1,37 @@
+// Package badfacttest exercises the unknown-directive audit: typo'd or
+// unknown //ptm: annotations must be findings, with a "did you mean"
+// suggestion when a known kind is close.
+package badfacttest
+
+import "sync"
+
+// Counter's guard annotation has the wrong case, so concguard would
+// silently ignore it.
+type Counter struct {
+	mu sync.Mutex
+	//ptm:guardedBy mu // want `unknown //ptm: directive "ptm:guardedBy" \(did you mean "ptm:guardedby"\?\)`
+	n int
+}
+
+// Add is annotated with a misspelled noalloc fact.
+//
+//ptm:noaloc // want `unknown //ptm: directive "ptm:noaloc" \(did you mean "ptm:noalloc"\?\)`
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// Snapshot carries a directive kind that matches nothing at all.
+//
+//ptm:frobnicate the whole struct // want `unknown //ptm: directive "ptm:frobnicate"`
+func (c *Counter) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Spelled correctly: the audit stays silent on real facts.
+//
+//ptm:exclusive fixture-only
+func (c *Counter) Raw() int { return c.n }

@@ -1,0 +1,46 @@
+// Package bce exercises the perfguard bce rule: //ptm:nobce functions
+// must compile without residual bounds checks.
+package bce
+
+// Checked masks the index but gives the prove pass no length guard, so
+// an IsInBounds check survives.
+//
+//ptm:nobce
+func Checked(a []uint64, i int) uint64 {
+	return a[i&(len(a)-1)] // want `Checked is marked //ptm:nobce but the compiler found a bounds check \(IsInBounds\)`
+}
+
+// Sliced reslices with an unprovable upper bound, leaving an
+// IsSliceInBounds check.
+//
+//ptm:nobce
+func Sliced(a []uint64, n int) []uint64 {
+	return a[:n] // want `Sliced is marked //ptm:nobce but the compiler found a bounds check \(IsSliceInBounds\)`
+}
+
+// Masked adds the emptiness guard that lets prove eliminate the masked
+// index: the rule stays silent.
+//
+//ptm:nobce
+func Masked(a []uint64, words int) uint64 {
+	if len(a) == 0 {
+		return 0
+	}
+	m := len(a) - 1
+	var s uint64
+	for i := 0; i < words; i++ {
+		s ^= a[i&m]
+	}
+	return s
+}
+
+// Ranged iterates with range, which never emits bounds checks.
+//
+//ptm:nobce
+func Ranged(a []uint64) uint64 {
+	var s uint64
+	for _, w := range a {
+		s += w
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+// Package clean mirrors the annotated hot-path idioms of the real tree
+// — masked block loops, fixed-size header encoding, trusted stdlib
+// calls, cold error guards — and must satisfy all three perfguard rules
+// at once (the golden test runs it under noalloc, inline, and bce with
+// wantNone).
+package clean
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// ErrEmpty guards the kernels below.
+var ErrEmpty = errors.New("clean: empty operand")
+
+// Word is the modular-index read of the fused kernels.
+//
+//ptm:noalloc
+//ptm:inline
+func Word(ws []uint64, i int) uint64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	return ws[i&(len(ws)-1)]
+}
+
+// JoinOnes is the two-operand masked join loop with its BCE guards.
+//
+//ptm:noalloc
+//ptm:nobce
+func JoinOnes(a, b []uint64, words int) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	am, bm := len(a)-1, len(b)-1
+	ones := 0
+	for i := 0; i < words; i++ {
+		ones += bits.OnesCount64(a[i&am] & b[i&bm])
+	}
+	return ones
+}
+
+// PutHeader is the fixed-buffer frame-header encoding.
+//
+//ptm:noalloc
+//ptm:inline
+//ptm:nobce
+func PutHeader(hdr *[5]byte, t byte, n int) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	hdr[4] = t
+}
+
+// Checked keeps a cold error guard around a hot trusted-call loop.
+//
+//ptm:noalloc
+//ptm:nobce
+func Checked(ws []uint64) (int, error) {
+	if len(ws) == 0 {
+		return 0, ErrEmpty
+	}
+	n := 0
+	for _, w := range ws {
+		n += bits.OnesCount64(w)
+	}
+	return n, nil
+}

@@ -1,0 +1,31 @@
+// Package inline exercises the perfguard inline rule: the compiler must
+// report "can inline" for every //ptm:inline function.
+package inline
+
+// Small is trivially inlinable; the rule stays silent.
+//
+//ptm:inline
+func Small(x uint64) uint64 { return x<<1 ^ x }
+
+// TooBig exceeds the inliner's cost budget; the finding quotes the
+// compiler's cost verdict.
+//
+//ptm:inline
+func TooBig(a []uint64) uint64 { // want `TooBig is marked //ptm:inline but the compiler reports: cannot inline TooBig: .*cost \d+ exceeds budget \d+`
+	var s, t, u, v uint64
+	for i, w := range a {
+		s += w << 1
+		t ^= w >> 2
+		u += s ^ t
+		v ^= u + uint64(i)
+		s ^= v<<3 | u>>5
+		t += s*17 + u*31
+		u ^= t<<7 ^ v>>9
+		v += s + t + u
+		s += v ^ (t << 11)
+		t ^= s + (u >> 13)
+		u += v*13 + s*7
+		v ^= t + (s >> 15)
+	}
+	return s ^ t ^ u ^ v
+}

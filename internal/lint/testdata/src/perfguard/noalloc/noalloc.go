@@ -1,0 +1,88 @@
+// Package noalloc exercises the perfguard noalloc rule: direct escapes,
+// call-graph knockouts, the append/go blind-spot scan, the trusted
+// stdlib table, and the cold-region exemption for error guards.
+package noalloc
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Escapes allocates directly: the compiler reports the make site.
+//
+//ptm:noalloc
+func Escapes(n int) []int {
+	s := make([]int, n) // want `Escapes is marked //ptm:noalloc but allocates: make\(\[\]int, n\) escapes to heap`
+	return s
+}
+
+// Boxes allocates by boxing v into the returned interface.
+//
+//ptm:noalloc
+func Boxes(v int) any {
+	return v // want `Boxes is marked //ptm:noalloc but allocates: v escapes to heap`
+}
+
+// CallsHelper is clean itself but calls a module function that is not:
+// the fixpoint knocks it out through the call edge.
+//
+//ptm:noalloc
+func CallsHelper(n int) int {
+	return helper(n) // want `CallsHelper is marked //ptm:noalloc but calls .*helper, which is not allocation-free`
+}
+
+// helper is kept out of the inliner so the escape stays attributed to
+// its own body and the knockout must travel the call edge.
+//
+//go:noinline
+func helper(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+
+// Appends grows a backing array — invisible to escape analysis, caught
+// by the syntactic scan.
+//
+//ptm:noalloc
+func Appends(dst []int, v int) []int {
+	return append(dst, v) // want `Appends is marked //ptm:noalloc but calls append`
+}
+
+// Launches starts a goroutine, which allocates its stack.
+//
+//ptm:noalloc
+func Launches(ch chan int) {
+	go func() { ch <- 1 }() // want `Launches is marked //ptm:noalloc but starts a goroutine`
+}
+
+// ViaIface calls through an interface: no static callee, conservatively
+// reported.
+//
+//ptm:noalloc
+func ViaIface(w io.Writer, b []byte) {
+	w.Write(b) // want `ViaIface is marked //ptm:noalloc but calls io.Writer.Write, which perfguard cannot prove allocation-free`
+}
+
+// Counts is allocation-free: a masked loop over trusted math/bits.
+//
+//ptm:noalloc
+func Counts(ws []uint64) int {
+	n := 0
+	for _, w := range ws {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Guarded keeps an fmt.Errorf error path: the guard block terminates in
+// a non-nil error return, so the cold-region exemption applies and the
+// hot path stays provable.
+//
+//ptm:noalloc
+func Guarded(ws []uint64) (int, error) {
+	if len(ws) == 0 {
+		return 0, fmt.Errorf("noalloc: empty input of length %d", len(ws))
+	}
+	return Counts(ws), nil
+}

@@ -28,6 +28,8 @@ var (
 // bitmap zero. For large m this is the paper's Eq. (1), n̂ = -m ln V0; we
 // use the exact base because the estimators of Sections III-B and IV-B are
 // derived with (1 - 1/m) factors and the joins must stay consistent.
+//
+//ptm:noalloc
 func Estimate(m int, zeroFraction float64) (float64, error) {
 	if m <= 0 {
 		return 0, fmt.Errorf("%w: %d", ErrBadSize, m)
@@ -47,6 +49,8 @@ func Estimate(m int, zeroFraction float64) (float64, error) {
 // EstimateApprox returns the paper's literal Eq. (1), n̂ = -m ln V0. It
 // differs from Estimate by O(n/m); both are exposed so the experiment
 // harness can demonstrate the (negligible) difference.
+//
+//ptm:noalloc
 func EstimateApprox(m int, zeroFraction float64) (float64, error) {
 	if m <= 0 {
 		return 0, fmt.Errorf("%w: %d", ErrBadSize, m)
@@ -69,6 +73,8 @@ func EstimateApprox(m int, zeroFraction float64) (float64, error) {
 //	StdErr(n̂)/n = sqrt(m (e^t - t - 1)) / (n),  t = n/m.
 //
 // Useful for choosing f and for sanity-checking simulation variance.
+//
+//ptm:noalloc
 func StdError(n float64, m int) float64 {
 	if n <= 0 || m <= 0 {
 		return 0

@@ -168,9 +168,15 @@ func NewSet(recs []*Record) (*Set, error) {
 }
 
 // Location returns the common location of the set.
+//
+//ptm:noalloc
+//ptm:inline
 func (s *Set) Location() vhash.LocationID { return s.loc }
 
 // Len returns t, the number of measurement periods in the set.
+//
+//ptm:noalloc
+//ptm:inline
 func (s *Set) Len() int { return len(s.recs) }
 
 // Periods returns the sorted period IDs.
@@ -186,9 +192,14 @@ func (s *Set) Periods() []PeriodID {
 // set's own (built once at construction so the estimator hot loops stay
 // allocation-free); callers must treat both the slice and the bitmaps as
 // read-only.
+//
+//ptm:noalloc
+//ptm:inline
 func (s *Set) Bitmaps() []*bitmap.Bitmap { return s.bms }
 
 // MaxSize returns m, the largest bitmap size in the set (Section III).
+//
+//ptm:noalloc
 func (s *Set) MaxSize() int {
 	m := 0
 	for _, r := range s.recs {
@@ -202,6 +213,8 @@ func (s *Set) MaxSize() int {
 // CheckAligned verifies that two sets cover exactly the same measurement
 // periods, the precondition for point-to-point persistent estimation
 // (Section IV: "during the same measurement periods").
+//
+//ptm:noalloc
 func CheckAligned(a, b *Set) error {
 	if a.Len() != b.Len() {
 		return fmt.Errorf("%w: %d vs %d periods", ErrPeriodSkew, a.Len(), b.Len())

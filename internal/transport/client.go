@@ -40,8 +40,9 @@ var ErrClientClosed = errors.New("transport: client closed")
 type Client struct {
 	conn net.Conn // set at construction, never reassigned
 
-	sendMu sync.Mutex    // serializes frame writes and pending-queue pushes
-	bw     *bufio.Writer //ptm:guardedby sendMu
+	sendMu sync.Mutex           // serializes frame writes and pending-queue pushes
+	bw     *bufio.Writer        //ptm:guardedby sendMu
+	hdr    [frameHeaderLen]byte //ptm:guardedby sendMu (reused frame-header scratch)
 
 	errMu     sync.Mutex
 	brokenErr error //ptm:guardedby errMu (sticky transport failure)
@@ -169,6 +170,29 @@ func (c *Client) drainPending() {
 	}
 }
 
+// writeFrameLocked writes one frame to the buffered writer. It must be
+// called with sendMu held: the header is encoded into the Client's
+// reusable scratch field rather than a local, because bufio.Writer.Write
+// retains its argument past the call (a local array would be moved to
+// the heap) and the pipelined send path must not allocate per request.
+//
+//ptm:noalloc
+func (c *Client) writeFrameLocked(t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	putFrameHeader(&c.hdr, t, len(payload))
+	if _, err := c.bw.Write(c.hdr[:]); err != nil {
+		return fmt.Errorf("transport: writing frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := c.bw.Write(payload); err != nil {
+			return fmt.Errorf("transport: writing frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
 // exchange writes one frame and waits for its FIFO-matched response,
 // expecting wantType.
 func (c *Client) exchange(t MsgType, payload []byte, wantType MsgType) ([]byte, error) {
@@ -178,7 +202,7 @@ func (c *Client) exchange(t MsgType, payload []byte, wantType MsgType) ([]byte, 
 		c.sendMu.Unlock()
 		return nil, err
 	}
-	if err := WriteFrame(c.bw, t, payload); err != nil {
+	if err := c.writeFrameLocked(t, payload); err != nil {
 		// A partial write desyncs the stream; poison the connection.
 		err = c.setBroken(err)
 		c.sendMu.Unlock()

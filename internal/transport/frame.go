@@ -89,6 +89,24 @@ var (
 	ErrBadFrame      = errors.New("transport: malformed frame")
 )
 
+// frameHeaderLen is the fixed frame prologue: 4-byte little-endian
+// payload length plus the type byte.
+const frameHeaderLen = 5
+
+// putFrameHeader encodes the frame prologue into a caller-owned buffer.
+// Taking a fixed-size array pointer (rather than returning a slice)
+// keeps the header on the caller's stack — or in a reused struct field
+// on the Client's pipelined send path — so frame encoding itself never
+// allocates.
+//
+//ptm:noalloc
+//ptm:inline
+//ptm:nobce
+func putFrameHeader(hdr *[frameHeaderLen]byte, t MsgType, payloadLen int) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+	hdr[4] = byte(t)
+}
+
 // WriteFrame writes one frame: 4-byte little-endian payload length, the
 // type byte, then the payload.
 //
@@ -97,10 +115,9 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	hdr := make([]byte, 5)
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	hdr[4] = byte(t)
-	if _, err := w.Write(hdr); err != nil {
+	var hdr [frameHeaderLen]byte
+	putFrameHeader(&hdr, t, len(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("transport: writing frame header: %w", err)
 	}
 	if len(payload) > 0 {

@@ -1,0 +1,38 @@
+//go:build !race
+
+// Zero-allocation regression tests for the //ptm:noalloc frame-encode
+// hot path, mirroring the perfguard contracts proved at lint time. The
+// file is excluded from -race builds because race instrumentation
+// introduces allocations unrelated to the contracts under test.
+
+package transport
+
+import (
+	"bufio"
+	"io"
+	"testing"
+)
+
+func TestFrameEncodeDoesNotAllocate(t *testing.T) {
+	var hdr [frameHeaderLen]byte
+	if n := testing.AllocsPerRun(100, func() {
+		putFrameHeader(&hdr, MsgUpload, 1<<20)
+	}); n != 0 {
+		t.Errorf("putFrameHeader allocated %.1f times per run, want 0", n)
+	}
+}
+
+func TestWriteFrameLockedDoesNotAllocate(t *testing.T) {
+	// Only the send path's scratch-field framing is under test, so a
+	// Client with just the buffered writer set suffices; the frames drain
+	// into io.Discard as the 4 KiB buffer fills.
+	c := &Client{bw: bufio.NewWriter(io.Discard)}
+	payload := make([]byte, 512)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := c.writeFrameLocked(MsgUpload, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("writeFrameLocked allocated %.1f times per run, want 0", n)
+	}
+}

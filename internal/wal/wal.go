@@ -350,9 +350,10 @@ func (l *Log) Append(payload []byte) error {
 		return err
 	}
 
+	// Frame outside the lock: the CRC over a large payload must not
+	// stall other appenders.
 	var hdr [entryHdr]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	putEntryHeader(&hdr, payload)
 
 	l.mu.Lock()
 	if l.closed {
@@ -365,24 +366,48 @@ func (l *Log) Append(payload []byte) error {
 			return err
 		}
 	}
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		l.mu.Unlock()
-		return l.poison(fmt.Errorf("wal: writing entry header: %w", err))
-	}
-	if _, err := l.f.Write(payload); err != nil {
-		l.mu.Unlock()
-		return l.poison(fmt.Errorf("wal: writing entry payload: %w", err))
-	}
-	l.segSize += entryHdr + int64(len(payload))
-	l.writeSeq++
-	l.stats.appends++
-	mySeq := l.writeSeq
+	mySeq, err := l.writeEntryLocked(&hdr, payload)
 	l.mu.Unlock()
+	if err != nil {
+		// A partial write desyncs the entry framing; poison the log.
+		return l.poison(err)
+	}
 
 	if l.opts.Sync == SyncAlways {
 		return l.syncTo(mySeq)
 	}
 	return nil
+}
+
+// putEntryHeader encodes one entry's framing — payload length and
+// CRC32C — into a caller-owned buffer.
+//
+//ptm:noalloc
+//ptm:nobce
+func putEntryHeader(hdr *[entryHdr]byte, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+}
+
+// writeEntryLocked writes one framed entry to the active segment and
+// returns its sequence number. Caller holds l.mu and is responsible for
+// rotation (before) and for poisoning the log on error (after, outside
+// the lock — poison takes syncMu, which must not nest inside mu). This
+// is the per-entry fast path; it must not allocate, so an ingest burst
+// spooling to the log puts no pressure on the garbage collector.
+//
+//ptm:noalloc
+func (l *Log) writeEntryLocked(hdr *[entryHdr]byte, payload []byte) (int64, error) {
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: writing entry header: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: writing entry payload: %w", err)
+	}
+	l.segSize += entryHdr + int64(len(payload))
+	l.writeSeq++
+	l.stats.appends++
+	return l.writeSeq, nil
 }
 
 // Sync flushes every entry appended so far to stable storage,

@@ -2,18 +2,25 @@
 # check.sh — the full verification gauntlet for the ptm repo.
 #
 # Runs, in order:
-#   1. go build            (everything compiles)
-#   2. go vet              (toolchain static checks)
-#   3. ptmlint             (repo-specific invariants; see DESIGN.md),
+#   1. gofmt -l            (every tracked .go file is gofmt-clean)
+#   2. go build            (everything compiles)
+#   3. go vet              (toolchain static checks)
+#   4. ptmlint             (repo-specific invariants; see DESIGN.md),
 #                          archiving a SARIF 2.1.0 report for CI surfaces
-#   4. concguard           (the four concurrency-contract rules alone,
+#   5. concguard           (the four concurrency-contract rules alone,
 #                          archiving their SARIF report separately so the
 #                          lock-discipline gate is auditable on its own)
-#   5. go test -race       (unit + integration tests under the race detector)
-#   6. race stress smoke   (the WAL and RSU concurrency stress tests again
+#   6. perfguard           (the three hot-path performance-contract rules
+#                          alone — noalloc, inline, bce — archiving their
+#                          SARIF report, escape-flow codeFlows included,
+#                          so the allocation gate is auditable on its own)
+#   7. go test -race       (unit + integration tests under the race
+#                          detector, -shuffle=on to surface order
+#                          dependence between tests)
+#   8. race stress smoke   (the WAL and RSU concurrency stress tests again
 #                          under -race -count=2 — the dynamic complement of
 #                          the static concguard contracts)
-#   7. fuzz smoke          (a few seconds per fuzz target, seeds + mutation)
+#   9. fuzz smoke          (a few seconds per fuzz target, seeds + mutation)
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target fuzzing budget for the smoke stage (default 5s)
@@ -28,6 +35,13 @@ FUZZTIME="${1:-5s}"
 step() {
 	printf '==> %s\n' "$*"
 }
+
+step "gofmt -l cmd internal"
+unformatted="$(gofmt -l cmd internal)"
+if [ -n "$unformatted" ]; then
+	printf 'gofmt: the following files need formatting:\n%s\n' "$unformatted" >&2
+	exit 1
+fi
 
 step "go build ./..."
 go build ./...
@@ -55,8 +69,16 @@ if ! go run ./cmd/ptmlint -rules=lockorder,guardedby,atomicmix,rcu -format=sarif
 	exit "$status"
 fi
 
-step "go test -race ./..."
-go test -race ./...
+step "perfguard (noalloc, inline, bce)"
+if ! go run ./cmd/ptmlint -rules=noalloc,inline,bce -format=sarif ./... > "$ARTIFACT_DIR/perfguard.sarif"; then
+	status=$?
+	step "perfguard findings (see $ARTIFACT_DIR/perfguard.sarif)"
+	go run ./cmd/ptmlint -rules=noalloc,inline,bce ./... || true
+	exit "$status"
+fi
+
+step "go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 step "race stress smoke (-race -count=2, WAL group commit + RSU ingest)"
 go test -race -count=2 -run '^TestGroupCommitConcurrentAppends$' ./internal/wal/
