@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-fast check bench bench-json bench-ingest bench-wal
+.PHONY: build test lint lint-fast check bench bench-json bench-ingest bench-wal bench-kernel
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,22 @@ bench-ingest:
 		-benchmem -cpu=1,4,8 \
 		./internal/rsu/ ./internal/transport/ ./internal/central/ \
 		| $(GO) run ./cmd/benchjson > BENCH_pr4.json
+
+# bench-kernel records the unrolled-join / cache-blocking / estimate-
+# cache baseline as BENCH_pr8.json: the multi-operand AND kernels with
+# throughput (bytes folded per ns, from b.SetBytes), the machine's
+# streaming ceiling (BenchmarkBandwidthBaseline: copy + popcount sweep)
+# as the %-of-peak denominator, and the estimate cache's hit-vs-cold
+# ratio. benchjson stamps GOAMD64 and the host's popcnt capability into
+# the document header so baselines from different machines stay
+# comparable. Override KERNEL_BENCH_OUT for A/B runs.
+KERNEL_BENCH_OUT ?= BENCH_pr8.json
+
+bench-kernel:
+	$(GO) test -run=NONE \
+		-bench='BenchmarkAndAll|BenchmarkBandwidthBaseline|BenchmarkEstimateCache' \
+		-benchmem ./internal/bitmap/ ./internal/core/ \
+		| $(GO) run ./cmd/benchjson > $(KERNEL_BENCH_OUT)
 
 # bench-wal records the durability-plane baseline as BENCH_pr5.json: raw
 # append throughput per sync policy, fsync amortization under concurrent

@@ -7,6 +7,13 @@
 // Each benchmark line becomes one entry carrying the run count, ns/op,
 // B/op, allocs/op, and any extra custom metrics. Context lines (goos,
 // goarch, pkg, cpu) are attached to the entries that follow them.
+//
+// The document header additionally records the effective GOAMD64 level
+// and whether the host CPU advertises the popcnt instruction, and every
+// result with a throughput (MB/s, from b.SetBytes) gains a derived
+// bytes_per_ns (≡ GB/s) field — together these make kernel baselines
+// comparable across machines and against the memory-bandwidth baseline
+// benchmark (BenchmarkBandwidthBaseline).
 package main
 
 import (
@@ -15,27 +22,37 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 )
 
 // Entry is one parsed benchmark result line.
 type Entry struct {
-	Name    string             `json:"name"`
-	Pkg     string             `json:"pkg,omitempty"`
-	Runs    int64              `json:"runs"`
-	NsPerOp float64            `json:"ns_per_op"`
-	BPerOp  float64            `json:"bytes_per_op"`
-	Allocs  float64            `json:"allocs_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name    string  `json:"name"`
+	Pkg     string  `json:"pkg,omitempty"`
+	Runs    int64   `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op"`
+	BPerOp  float64 `json:"bytes_per_op"`
+	Allocs  float64 `json:"allocs_per_op"`
+	// BytesPerNs is derived from the MB/s throughput go test reports for
+	// benchmarks that call b.SetBytes (1 MB/s = 1e-3 bytes/ns); zero when
+	// the benchmark reported no throughput.
+	BytesPerNs float64            `json:"bytes_per_ns,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Doc is the top-level JSON document.
 type Doc struct {
-	GOOS    string  `json:"goos,omitempty"`
-	GOARCH  string  `json:"goarch,omitempty"`
-	CPU     string  `json:"cpu,omitempty"`
-	Results []Entry `json:"results"`
+	GOOS    string `json:"goos,omitempty"`
+	GOARCH  string `json:"goarch,omitempty"`
+	CPU     string `json:"cpu,omitempty"`
+	GOAMD64 string `json:"goamd64,omitempty"`
+	// CPUPopcnt reports whether the host CPU advertises the popcnt
+	// instruction (the GOAMD64=v2 baseline the fused kernels target).
+	// Nil when the capability could not be determined on this platform.
+	CPUPopcnt *bool   `json:"cpu_popcnt,omitempty"`
+	Results   []Entry `json:"results"`
 }
 
 func main() {
@@ -44,6 +61,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	doc.GOAMD64 = goamd64()
+	doc.CPUPopcnt = cpuHasPopcnt()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -118,6 +137,14 @@ func parseLine(line string) (*Entry, error) {
 			e.BPerOp = v
 		case "allocs/op":
 			e.Allocs = v
+		case "MB/s":
+			// go test's throughput unit (from b.SetBytes). Keep the raw
+			// metric and derive bytes/ns: 1 MB/s = 1e6 B/s = 1e-3 B/ns.
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+			e.BytesPerNs = v / 1000
 		default:
 			if e.Metrics == nil {
 				e.Metrics = map[string]float64{}
@@ -126,4 +153,45 @@ func parseLine(line string) (*Entry, error) {
 		}
 	}
 	return e, nil
+}
+
+// goamd64 reports the effective GOAMD64 microarchitecture level the
+// benchmarks were (presumably) built with: `go env GOAMD64` when the
+// toolchain is reachable (it folds in go/env config), the environment
+// variable otherwise, empty when neither answers.
+func goamd64() string {
+	if out, err := exec.Command("go", "env", "GOAMD64").Output(); err == nil {
+		if v := strings.TrimSpace(string(out)); v != "" {
+			return v
+		}
+	}
+	return strings.TrimSpace(os.Getenv("GOAMD64"))
+}
+
+// cpuHasPopcnt probes the host CPU for the popcnt instruction via
+// /proc/cpuinfo (the stdlib exposes no portable CPUID surface). Returns
+// nil off Linux or when the flags line is missing.
+func cpuHasPopcnt() *bool {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return nil
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "flags") {
+			continue
+		}
+		has := false
+		_, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		for _, f := range strings.Fields(rest) {
+			if f == "popcnt" {
+				has = true
+				break
+			}
+		}
+		return &has
+	}
+	return nil
 }

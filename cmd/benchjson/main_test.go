@@ -50,6 +50,28 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseDerivesBytesPerNs(t *testing.T) {
+	doc, err := parse(strings.NewReader(
+		"BenchmarkAndAll/m=2^24/t=5-1 \t 100 \t 2000000 ns/op \t 12000.00 MB/s \t 0 B/op \t 0 allocs/op\n" +
+			"BenchmarkNoThroughput-1 \t 100 \t 10 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(doc.Results))
+	}
+	// 12000 MB/s = 12 bytes/ns.
+	if got := doc.Results[0].BytesPerNs; got != 12 {
+		t.Errorf("bytes_per_ns = %v, want 12", got)
+	}
+	if doc.Results[0].Metrics["MB/s"] != 12000 {
+		t.Errorf("raw MB/s metric = %v", doc.Results[0].Metrics["MB/s"])
+	}
+	if got := doc.Results[1].BytesPerNs; got != 0 {
+		t.Errorf("no-throughput bytes_per_ns = %v, want 0", got)
+	}
+}
+
 func TestParseSkipsNoise(t *testing.T) {
 	doc, err := parse(strings.NewReader("some log line\nPASS\nok \tptm\t0.1s\n"))
 	if err != nil {

@@ -1,0 +1,201 @@
+package bitmap
+
+// Differential tests for the unrolled block kernels and the
+// cache-blocked tiled traversal (block.go). The shapes here are chosen
+// to pin each dispatch arm of joinOnes/joinInto:
+//
+//   - ≥ 512-bit outputs with ≤ maxFusedOperands large operands
+//     → joinOnesRegs / joinIntoRegs (single-pass register folds)
+//   - > maxFusedOperands large operands → joinOnesTiled / joinIntoTiled
+//     (pattern-seeded cache-blocked traversal), including with the
+//     block knob forced down to one 64-byte block so a single join
+//     crosses many tile boundaries
+//   - operands smaller than one block → the gatherPat collapse
+//   - dst aliasing an operand on the wide path → joinIntoByWord fallback
+//
+// All of them reuse checkFusedAgainstNaive, so every shape is verified
+// against the materialized ExpandTo pipeline for AND and OR, count-only
+// and Into, natural-size and replicated-dst, scratch and nil-scratch.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomWideOperands builds an operand list wide enough to overflow the
+// register kernels' operand budget: 2..40 bitmaps, sizes 2^6..2^13 bits,
+// so lists mix sub-block (64..256-bit) and multi-block operands.
+func randomWideOperands(rng *rand.Rand) []*Bitmap {
+	t := 2 + rng.Intn(39)
+	ms := make([]*Bitmap, t)
+	for i := range ms {
+		size := 64 << rng.Intn(8) // 2^6 .. 2^13
+		b := MustNew(size)
+		// Density high enough that deep ANDs stay nonzero sometimes.
+		for k := 0; k < size; k++ {
+			if rng.Intn(3) > 0 {
+				b.Set(uint64(k))
+			}
+		}
+		ms[i] = b
+	}
+	return ms
+}
+
+func TestBlockKernelsWideDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sc := new(JoinScratch)
+	for trial := 0; trial < 60; trial++ {
+		checkFusedAgainstNaive(t, randomWideOperands(rng), sc)
+	}
+}
+
+// TestBlockKernelsTinyTiles forces the tiled traversal across many tile
+// boundaries by shrinking the cache block to a single 64-byte block, and
+// checks a few other knob values on the same shapes.
+func TestBlockKernelsTinyTiles(t *testing.T) {
+	orig := JoinBlockBytes()
+	defer func() {
+		if err := SetJoinBlockBytes(orig); err != nil {
+			t.Fatalf("restoring join block: %v", err)
+		}
+	}()
+	rng := rand.New(rand.NewSource(22))
+	sc := new(JoinScratch)
+	for _, block := range []int{64, 128, 1024, 1 << 20} {
+		if err := SetJoinBlockBytes(block); err != nil {
+			t.Fatalf("SetJoinBlockBytes(%d): %v", block, err)
+		}
+		if got := JoinBlockBytes(); got != block {
+			t.Fatalf("JoinBlockBytes = %d, want %d", got, block)
+		}
+		for trial := 0; trial < 20; trial++ {
+			checkFusedAgainstNaive(t, randomWideOperands(rng), sc)
+		}
+	}
+}
+
+// TestBlockKernelsManyLargeEqual pins the exact register-budget boundary:
+// maxFusedOperands, maxFusedOperands+1, and maxFusedOperands+1 large
+// operands plus small ones (the pattern occupies no budget slot on the
+// tiled path but does on the register path).
+func TestBlockKernelsManyLargeEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sc := new(JoinScratch)
+	for _, nLarge := range []int{maxFusedOperands - 1, maxFusedOperands, maxFusedOperands + 1, 2*maxFusedOperands + 3} {
+		for _, nSmall := range []int{0, 1, 3} {
+			ms := make([]*Bitmap, 0, nLarge+nSmall)
+			for i := 0; i < nLarge; i++ {
+				b := MustNew(1 << 12)
+				for k := 0; k < b.Size(); k++ {
+					if rng.Intn(4) > 0 {
+						b.Set(uint64(k))
+					}
+				}
+				ms = append(ms, b)
+			}
+			for i := 0; i < nSmall; i++ {
+				b := MustNew(64 << (i % 3)) // 64, 128, 256 bits: all sub-block
+				for k := 0; k < b.Size(); k++ {
+					if rng.Intn(2) == 0 {
+						b.Set(uint64(k))
+					}
+				}
+				ms = append(ms, b)
+			}
+			checkFusedAgainstNaive(t, ms, sc)
+		}
+	}
+}
+
+// TestBlockKernelsAliasedWide covers the one dispatch corner the register
+// path cannot absorb: a join too wide for the register kernel whose dst
+// aliases an operand, which must take the joinIntoByWord fallback (the
+// tiled path seeds dst before reading the operands).
+func TestBlockKernelsAliasedWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	ms := make([]*Bitmap, maxFusedOperands+4)
+	for i := range ms {
+		b := MustNew(1 << 12)
+		for k := 0; k < b.Size(); k++ {
+			if rng.Intn(4) > 0 {
+				b.Set(uint64(k))
+			}
+		}
+		ms[i] = b
+	}
+	for _, and := range []bool{true, false} {
+		want := naiveJoin(t, ms, 1<<12, and)
+		dst := ms[rng.Intn(len(ms))]
+		var ones int
+		var err error
+		if and {
+			ones, err = AndAllInto(dst, ms)
+		} else {
+			ones, err = OrAllInto(dst, ms)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ones != want.Ones() || !dst.Equal(want) {
+			t.Fatalf("aliased wide join (and=%v): ones=%d want=%d equal=%v",
+				and, ones, want.Ones(), dst.Equal(want))
+		}
+		// dst is now the join, not the original operand; rebuild it for
+		// the OR round.
+		if and {
+			fresh := MustNew(1 << 12)
+			for k := 0; k < fresh.Size(); k++ {
+				if rng.Intn(4) > 0 {
+					fresh.Set(uint64(k))
+				}
+			}
+			copy(dst.words, fresh.words)
+		}
+	}
+}
+
+func TestSetJoinBlockBytesValidation(t *testing.T) {
+	orig := JoinBlockBytes()
+	defer SetJoinBlockBytes(orig)
+	for _, bad := range []int{0, -1, 63, 1<<30 + 1} {
+		if err := SetJoinBlockBytes(bad); err == nil {
+			t.Fatalf("SetJoinBlockBytes(%d) should fail", bad)
+		}
+	}
+	if got := JoinBlockBytes(); got != orig {
+		t.Fatalf("rejected knob values must not stick: got %d, want %d", got, orig)
+	}
+	if orig < 64 || orig > 1<<30 {
+		t.Fatalf("probe/default produced out-of-range block %d", orig)
+	}
+}
+
+// FuzzFusedJoinWide drives the differential harness with fuzzer-chosen
+// wide shapes and tile sizes, reaching the register-budget overflow and
+// tile-boundary logic FuzzFusedJoin's ≤6 operands cannot.
+func FuzzFusedJoinWide(f *testing.F) {
+	f.Add(uint8(17), uint16(0x0421), uint8(0), uint64(1))
+	f.Add(uint8(33), uint16(0xffff), uint8(3), uint64(42))
+	f.Add(uint8(40), uint16(0x8001), uint8(7), uint64(99))
+	f.Fuzz(func(t *testing.T, nOps uint8, sizeBits uint16, blockExp uint8, seed uint64) {
+		orig := JoinBlockBytes()
+		defer SetJoinBlockBytes(orig)
+		// 64B..8KiB tiles: one to many blocks per tile.
+		if err := SetJoinBlockBytes(64 << (int(blockExp) % 8)); err != nil {
+			t.Fatal(err)
+		}
+		n := int(nOps)%40 + 1
+		rng := rand.New(rand.NewSource(int64(seed)))
+		ms := make([]*Bitmap, n)
+		for i := range ms {
+			exp := int(sizeBits>>(3*uint(i%5))) & 7
+			b := MustNew(64 << exp)
+			for k := rng.Intn(b.Size() + 1); k > 0; k-- {
+				b.Set(rng.Uint64())
+			}
+			ms[i] = b
+		}
+		checkFusedAgainstNaive(t, ms, new(JoinScratch))
+	})
+}

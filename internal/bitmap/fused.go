@@ -87,15 +87,34 @@ func joinOnes(ms []*Bitmap, and bool) (ones, m int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	switch len(ms) {
-	case 1:
+	if len(ms) == 1 {
 		return ms[0].Ones(), m, nil
-	case 2:
-		return joinOnes2(ms[0], ms[1], m/wordBits, and), m, nil
 	}
 	words := m / wordBits
+	// m is a power of two >= 64, so words >= blockWords implies words is a
+	// multiple of blockWords — the block kernels' only shape requirement.
+	// Popcounts are order-free integers, so rerouting changes no result
+	// (the float contract of core.pointFractions is over AndOnes *values*,
+	// which are exact).
+	if words >= blockWords {
+		return joinOnesBlocked(ms, words, and), m, nil
+	}
+	if len(ms) == 2 {
+		return joinOnes2(ms[0], ms[1], words, and), m, nil
+	}
+	return joinOnesByWord(ms, words, and), m, nil
+}
+
+// joinOnesByWord is the pre-block reference loop: one output word at a
+// time through the modular word(i) accessor. It remains the differential
+// oracle for the unrolled kernels (fused_test.go) and the fallback for
+// sub-block outputs (m < 512 bits).
+//
+//ptm:noalloc
+func joinOnesByWord(ms []*Bitmap, words int, and bool) int {
 	first := ms[0]
 	rest := ms[1:]
+	ones := 0
 	for i := 0; i < words; i++ {
 		w := first.word(i)
 		if and {
@@ -109,7 +128,7 @@ func joinOnes(ms []*Bitmap, and bool) (ones, m int, err error) {
 		}
 		ones += bits.OnesCount64(w)
 	}
-	return ones, m, nil
+	return ones
 }
 
 // joinOnes2 is the two-operand fast path: every estimator's final
@@ -179,9 +198,12 @@ func aliases(a, b *Bitmap) bool {
 	return len(aw) > 0 && len(bw) > 0 && &aw[0] == &bw[0]
 }
 
+// joinInto validates and dispatches; the unrolled loops themselves live
+// in joinIntoRegs/joinIntoTiled (which carry the nobce contract — this
+// function's once-per-join gather indexing does not).
+//
 //ptm:exclusive join plane operates on sealed records and a caller-owned dst
 //ptm:noalloc
-//ptm:nobce
 func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	// MaxSize would catch the empty list too, but the explicit guard is
 	// what lets prove see len(ms) >= 1 at the ms[0] and ms[1:] uses.
@@ -195,71 +217,39 @@ func joinInto(dst *Bitmap, ms []*Bitmap, and bool) (ones int, err error) {
 	if dst.nbits < m {
 		return 0, fmt.Errorf("%w: dst %d < operand %d", ErrShrink, dst.nbits, m)
 	}
-	// The fast path processes one operand at a time in tight two-address
-	// block loops (replication makes every operand's length divide dst's),
-	// which the compiler turns into straight-line word loops with no
-	// modular indexing. It overwrites dst up front, so an operand aliasing
-	// dst (allowed for equal sizes) falls back to the word-at-a-time loop,
-	// which reads every operand before storing.
-	//
-	// The block loops walk a shrinking rem suffix instead of advancing an
-	// offset: `rem[:len(ow)]` under the loop condition len(rem) >= len(ow)
-	// is a fact the prove pass consumes directly, so every block and every
-	// word access below compiles bounds-check-free (//ptm:nobce), which
-	// the offset form's dw[off:off+len(ow)] slicing did not.
-	for _, o := range ms[1:] {
+	// Dispatch (DESIGN.md §13): outputs smaller than one block take the
+	// word-at-a-time reference loop. Otherwise the single-pass register
+	// kernel folds every operand per output block — one load per operand,
+	// one store, one popcount per word — and is aliasing-safe by
+	// construction (all operand blocks are read before the block is
+	// stored). Joins wider than the register budget fall to the tiled
+	// traversal, which revisits each dst tile across chunk passes and so
+	// must not have dst alias an operand; that rare combination falls
+	// back to joinIntoByWord.
+	dw := dst.words
+	if len(dw) < blockWords {
+		return joinIntoByWord(dst, ms, and)
+	}
+	var ops [maxFusedOperands][]uint64
+	var pat [blockWords]uint64
+	n, ok := gatherOps(ms, &ops)
+	if ok && gatherPat(ms, &pat, and) {
+		if n == len(ops) {
+			ok = false
+		} else {
+			ops[n] = pat[:]
+			n++
+		}
+	}
+	if ok {
+		return joinIntoRegs(dw, ops[:n], and), nil
+	}
+	for _, o := range ms {
 		if aliases(dst, o) {
 			return joinIntoByWord(dst, ms, and)
 		}
 	}
-	dw := dst.words
-	w0 := ms[0].words
-	if !aliases(dst, ms[0]) || len(dw) != len(w0) {
-		for rem := dw; len(rem) >= len(w0); rem = rem[len(w0):] {
-			copy(rem[:len(w0)], w0)
-		}
-	}
-	if len(ms) == 1 {
-		for _, w := range dw {
-			ones += bits.OnesCount64(w)
-		}
-		return ones, nil
-	}
-	for _, o := range ms[1 : len(ms)-1] {
-		ow := o.words
-		for rem := dw; len(rem) >= len(ow); rem = rem[len(ow):] {
-			blk := rem[:len(ow)]
-			if and {
-				for i, w := range ow {
-					blk[i] &= w
-				}
-			} else {
-				for i, w := range ow {
-					blk[i] |= w
-				}
-			}
-		}
-	}
-	// The last operand's pass fuses the popcount, so the join is still a
-	// single store and a single count per output word overall.
-	ow := ms[len(ms)-1].words
-	for rem := dw; len(rem) >= len(ow); rem = rem[len(ow):] {
-		blk := rem[:len(ow)]
-		if and {
-			for i, w := range ow {
-				v := blk[i] & w
-				blk[i] = v
-				ones += bits.OnesCount64(v)
-			}
-		} else {
-			for i, w := range ow {
-				v := blk[i] | w
-				blk[i] = v
-				ones += bits.OnesCount64(v)
-			}
-		}
-	}
-	return ones, nil
+	return joinIntoTiled(dst, ms, and), nil
 }
 
 // joinIntoByWord is the aliasing-safe reference loop: each output word is

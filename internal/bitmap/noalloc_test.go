@@ -71,3 +71,47 @@ func TestHotPathsDoNotAllocate(t *testing.T) {
 
 	_, _, _ = sinkInt, sinkBool, sinkFloat
 }
+
+// TestBlockKernelPathsDoNotAllocate steers the fused entry points down
+// each of block.go's dispatch arms — register kernels, pattern collapse,
+// and the tiled traversal — and requires zero allocations on all of
+// them, mirroring the //ptm:noalloc contracts on the new kernels.
+func TestBlockKernelPathsDoNotAllocate(t *testing.T) {
+	wide := func(n, bitsz int) []*Bitmap {
+		ms := make([]*Bitmap, n)
+		for i := range ms {
+			b := MustNew(bitsz)
+			for k := uint64(0); k < uint64(bitsz); k += 3 {
+				b.Set(k + uint64(i))
+			}
+			ms[i] = b
+		}
+		return ms
+	}
+	regs := wide(5, 1<<12)                          // ≤ maxFusedOperands larges → register kernels
+	mixed := append(wide(5, 1<<12), wide(3, 64)...) // sub-block operands → gatherPat collapse
+	tiled := wide(2*maxFusedOperands+1, 1<<12)      // operand overflow → tiled traversal
+	dst := MustNew(1 << 12)
+	var sinkInt int
+
+	for name, ms := range map[string][]*Bitmap{"regs": regs, "mixed": mixed, "tiled": tiled} {
+		ms := ms
+		requireZeroAllocs(t, "AndOnes/"+name, func() {
+			ones, _, err := AndOnes(ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sinkInt = ones
+		})
+		requireZeroAllocs(t, "AndAllInto/"+name, func() {
+			ones, err := AndAllInto(dst, ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sinkInt = ones
+		})
+	}
+	requireZeroAllocs(t, "JoinBlockBytes", func() { sinkInt = JoinBlockBytes() })
+	requireZeroAllocs(t, "tileWords", func() { sinkInt = tileWords() })
+	_ = sinkInt
+}

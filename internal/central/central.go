@@ -52,6 +52,12 @@ type shard struct {
 	// of the location space (the guard covers the inner maps too).
 	//ptm:guardedby mu
 	byLoc map[vhash.LocationID]map[record.PeriodID]*record.Record
+	// epoch[loc] counts accepted ingests at loc. It fences the estimate
+	// cache: the epoch is part of every cache key, so bumping it makes
+	// all cached estimates for the location unreachable (lazy
+	// invalidation — see core.EstCache and DESIGN.md §13).
+	//ptm:guardedby mu
+	epoch map[vhash.LocationID]uint64
 }
 
 // Server is the in-memory record store and query engine. The zero value
@@ -60,6 +66,11 @@ type Server struct {
 	shards []shard // immutable slice; per-shard state under shard.mu
 	mask   uint64  // len(shards)-1; len(shards) is a power of two
 	s      int     // system-wide representative-bit count, needed by Eq. (21)
+
+	// cache memoizes estimator results keyed by location epochs. Set at
+	// construction (SetEstimateCache reconfigures it for tests and
+	// benchmarks); nil disables caching — every query computes.
+	cache *core.EstCache
 }
 
 // NewServer creates an empty server configured with the system-wide
@@ -85,11 +96,29 @@ func NewServerSharded(s, nShards int) (*Server, error) {
 		shards: make([]shard, nShards),
 		mask:   uint64(nShards - 1),
 		s:      s,
+		cache:  core.NewEstCache(core.DefaultEstCacheEntries),
 	}
 	for i := range srv.shards {
 		srv.shards[i].byLoc = make(map[vhash.LocationID]map[record.PeriodID]*record.Record)
+		srv.shards[i].epoch = make(map[vhash.LocationID]uint64)
 	}
 	return srv, nil
+}
+
+// SetEstimateCache replaces the server's estimate cache with one bounded
+// to capacity entries (capacity <= 0 disables caching). Counters restart
+// from zero. Not synchronized with in-flight queries: call it during
+// setup, before the server is shared.
+//
+//ptm:exclusive configuration: callers reconfigure before serving
+func (s *Server) SetEstimateCache(capacity int) {
+	s.cache = core.NewEstCache(capacity)
+}
+
+// EstCacheStats returns a snapshot of the estimate cache's counters
+// (zeros when caching is disabled).
+func (s *Server) EstCacheStats() core.EstCacheStats {
+	return s.cache.Stats()
 }
 
 // S returns the configured representative-bit count.
@@ -127,7 +156,18 @@ func (s *Server) Ingest(rec *record.Record) error {
 	if _, dup := byPeriod[rec.Period]; dup {
 		return fmt.Errorf("%w: loc=%d period=%d", ErrDuplicate, rec.Location, rec.Period)
 	}
+	hadRecords := len(byPeriod) > 0
 	byPeriod[rec.Period] = rec
+	// Every accepted upload bumps the location's epoch, fencing off any
+	// cached estimates built from the previous record set (WAL replay and
+	// snapshot restore arrive through this same path). The bump happens
+	// under the shard lock, so a query that assembled its set before this
+	// record landed also read the pre-bump epoch — its cache entry stays
+	// keyed to the old state, never mistaken for the new one.
+	sh.epoch[rec.Location]++
+	if hadRecords {
+		s.cache.NoteInvalidation()
+	}
 	return nil
 }
 
@@ -160,25 +200,33 @@ func (s *Server) Periods(loc vhash.LocationID) []record.PeriodID {
 	return out
 }
 
-// get assembles the record set Π for (loc, periods).
-func (s *Server) get(loc vhash.LocationID, periods []record.PeriodID) (*record.Set, error) {
+// get assembles the record set Π for (loc, periods) together with the
+// location's ingest epoch, read under the same lock hold as the records
+// — the (set, epoch) pair is mutually consistent by construction, which
+// is what makes the epoch a sound cache fence.
+func (s *Server) get(loc vhash.LocationID, periods []record.PeriodID) (*record.Set, uint64, error) {
 	if len(periods) == 0 {
-		return nil, ErrNoPeriods
+		return nil, 0, ErrNoPeriods
 	}
 	sh := s.shardFor(loc)
 	sh.mu.RLock()
 	byPeriod := sh.byLoc[loc]
+	epoch := sh.epoch[loc]
 	recs := make([]*record.Record, 0, len(periods))
 	for _, p := range periods {
 		rec, ok := byPeriod[p]
 		if !ok {
 			sh.mu.RUnlock()
-			return nil, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, loc, p)
+			return nil, 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, loc, p)
 		}
 		recs = append(recs, rec)
 	}
 	sh.mu.RUnlock()
-	return record.NewSet(recs)
+	set, err := record.NewSet(recs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return set, epoch, nil
 }
 
 // lookup fetches one record under its shard's read lock. Records are
@@ -202,13 +250,15 @@ func (s *Server) Volume(loc vhash.LocationID, p record.PeriodID) (float64, error
 }
 
 // PointPersistent estimates the point persistent traffic at loc over the
-// given periods (Eq. 12).
+// given periods (Eq. 12). Results are served from the estimate cache
+// when the location has not ingested since they were computed; a hit is
+// bit-identical to the cold computation.
 func (s *Server) PointPersistent(loc vhash.LocationID, periods []record.PeriodID) (*core.PointResult, error) {
-	set, err := s.get(loc, periods)
+	set, epoch, err := s.get(loc, periods)
 	if err != nil {
 		return nil, err
 	}
-	return core.EstimatePoint(set)
+	return s.cache.Point(epoch, set, core.SplitHalves)
 }
 
 // WindowResult is one sliding-window persistent estimate.
@@ -248,15 +298,15 @@ func (s *Server) PointPersistentSliding(loc vhash.LocationID, window int) ([]Win
 // PointToPointPersistent estimates the point-to-point persistent traffic
 // between locA and locB over the given periods (Eq. 21).
 func (s *Server) PointToPointPersistent(locA, locB vhash.LocationID, periods []record.PeriodID) (*core.PointToPointResult, error) {
-	setA, err := s.get(locA, periods)
+	setA, epochA, err := s.get(locA, periods)
 	if err != nil {
 		return nil, err
 	}
-	setB, err := s.get(locB, periods)
+	setB, epochB, err := s.get(locB, periods)
 	if err != nil {
 		return nil, err
 	}
-	return core.EstimatePointToPoint(setA, setB, s.s)
+	return s.cache.PointToPoint(epochA, epochB, setA, setB, s.s)
 }
 
 // ODVolume estimates the single-period point-to-point volume between two

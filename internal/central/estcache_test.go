@@ -1,0 +1,277 @@
+package central
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ptm/internal/core"
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// seedLocation ingests nPeriods random records of m bits at loc.
+func seedLocation(t *testing.T, s *Server, loc vhash.LocationID, nPeriods, m int, rng *rand.Rand) []record.PeriodID {
+	t.Helper()
+	periods := make([]record.PeriodID, nPeriods)
+	for j := 0; j < nPeriods; j++ {
+		rec := mustRecord(t, loc, record.PeriodID(j+1), m)
+		for k := 0; k < m/2; k++ {
+			rec.Bitmap.Set(rng.Uint64())
+		}
+		if err := s.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+		periods[j] = rec.Period
+	}
+	return periods
+}
+
+// TestServerEstCacheHitsAndIngestInvalidation: repeated queries hit the
+// cache, results stay bit-identical, and an ingest at the location
+// fences the cached entry so the next query recomputes against the new
+// record set.
+func TestServerEstCacheHitsAndIngestInvalidation(t *testing.T) {
+	s := newServer(t)
+	rng := rand.New(rand.NewSource(81))
+	periods := seedLocation(t, s, 5, 4, 1<<10, rng)
+
+	first, err := s.PointPersistent(5, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.PointPersistent(5, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *first != *second {
+		t.Fatalf("cached query diverges: %+v vs %+v", first, second)
+	}
+	st := s.EstCacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats after warm query: %+v", st)
+	}
+
+	// New period at the same location: epoch bumps, entry is fenced.
+	// (Seeding already counted invalidations — every ingest after a
+	// location's first one does — so check the delta.)
+	invBefore := st.Invalidations
+	rec := mustRecord(t, 5, 99, 1<<10)
+	for k := 0; k < 200; k++ {
+		rec.Bitmap.Set(rng.Uint64())
+	}
+	if err := s.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	st = s.EstCacheStats()
+	if st.Invalidations != invBefore+1 {
+		t.Fatalf("ingest at live location must count an invalidation: %+v (before: %d)", st, invBefore)
+	}
+
+	// Same periods as before — but the epoch changed, so this must be a
+	// recompute, not a stale hit.
+	third, err := s.PointPersistent(5, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *third != *first {
+		t.Fatalf("query over unchanged periods must still be deterministic: %+v vs %+v", third, first)
+	}
+	st = s.EstCacheStats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("post-ingest query must miss: %+v", st)
+	}
+
+	// Querying with the new period included is its own key.
+	wider := append(append([]record.PeriodID{}, periods...), 99)
+	if _, err := s.PointPersistent(5, wider); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.EstCacheStats(); st.Misses != 3 {
+		t.Fatalf("wider period set should miss: %+v", st)
+	}
+}
+
+// TestServerEstCacheP2P: the point-to-point path caches too, and an
+// ingest at either endpoint fences the pair entry.
+func TestServerEstCacheP2P(t *testing.T) {
+	s := newServer(t)
+	rng := rand.New(rand.NewSource(82))
+	periods := seedLocation(t, s, 7, 3, 1<<10, rng)
+	for j, p := range periods {
+		rec := mustRecord(t, 8, p, 1<<10)
+		for k := 0; k < 300+j; k++ {
+			rec.Bitmap.Set(rng.Uint64())
+		}
+		if err := s.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first, err := s.PointToPointPersistent(7, 8, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.PointToPointPersistent(7, 8, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *first != *second {
+		t.Fatalf("cached p2p diverges: %+v vs %+v", first, second)
+	}
+	if st := s.EstCacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("p2p stats: %+v", st)
+	}
+
+	// Ingest at the B endpoint only: the pair key's epochB changes.
+	rec := mustRecord(t, 8, 50, 1<<10)
+	if err := s.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	third, err := s.PointToPointPersistent(7, 8, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *third != *first {
+		t.Fatalf("p2p over unchanged periods changed: %+v vs %+v", third, first)
+	}
+	if st := s.EstCacheStats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("p2p post-ingest stats: %+v", st)
+	}
+}
+
+// TestServerEstCacheDisabled: SetEstimateCache(0) turns caching off
+// without changing results.
+func TestServerEstCacheDisabled(t *testing.T) {
+	s := newServer(t)
+	rng := rand.New(rand.NewSource(83))
+	periods := seedLocation(t, s, 9, 3, 1<<9, rng)
+
+	cached, err := s.PointPersistent(9, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEstimateCache(0)
+	uncached, err := s.PointPersistent(9, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *cached != *uncached {
+		t.Fatalf("disabling the cache changed the estimate: %+v vs %+v", cached, uncached)
+	}
+	if st := s.EstCacheStats(); st != (core.EstCacheStats{}) {
+		t.Fatalf("disabled cache must report zero stats: %+v", st)
+	}
+}
+
+// TestEstCacheConcurrentQueryIngest is the -race soak: readers hammer
+// point and p2p queries over a fixed window while a writer keeps
+// ingesting fresh periods at the same locations (fencing the cache under
+// the readers' feet). Run by check.sh's race stress stage with -count=2.
+func TestEstCacheConcurrentQueryIngest(t *testing.T) {
+	s := newServer(t)
+	rng := rand.New(rand.NewSource(84))
+	const m = 1 << 9
+	periods := seedLocation(t, s, 1, 4, m, rng)
+	for _, p := range periods {
+		rec := mustRecord(t, 2, p, m)
+		for k := 0; k < m/3; k++ {
+			rec.Bitmap.Set(rng.Uint64())
+		}
+		if err := s.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The fixed window's records never change after seeding, so every
+	// read — cached or recomputed, before or after any ingest — must
+	// produce this exact result.
+	wantPoint, err := s.PointPersistent(1, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP2P, err := s.PointToPointPersistent(1, 2, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers       = 4
+		readsPerGo    = 200
+		writerPeriods = 120
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(85))
+		for j := 0; j < writerPeriods; j++ {
+			loc := vhash.LocationID(1 + j%2)
+			rec, err := record.New(loc, record.PeriodID(1000+j), m)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for k := 0; k < m/4; k++ {
+				rec.Bitmap.Set(wrng.Uint64())
+			}
+			if err := s.Ingest(rec); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < readsPerGo; j++ {
+				if j%2 == g%2 {
+					got, err := s.PointPersistent(1, periods)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if *got != *wantPoint {
+						errc <- errDrift
+						return
+					}
+				} else {
+					got, err := s.PointToPointPersistent(1, 2, periods)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if *got != *wantP2P {
+						errc <- errDrift
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := s.EstCacheStats()
+	if st.Hits+st.Misses != readers*readsPerGo+2 {
+		t.Fatalf("every read must count exactly once: %+v", st)
+	}
+	if st.Invalidations == 0 {
+		t.Fatal("writer ingests at live locations must record invalidations")
+	}
+}
+
+var errDrift = &driftError{}
+
+type driftError struct{}
+
+func (*driftError) Error() string {
+	return "concurrent cached query diverged from the fixed-window result"
+}

@@ -31,11 +31,19 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
+		cs := s.EstCacheStats()
 		writeJSON(w, map[string]any{
 			"locations":    st.Locations,
 			"records":      st.Records,
 			"payload_bits": st.Bits,
 			"s":            s.S(),
+			"estcache": map[string]any{
+				"hits":          cs.Hits,
+				"misses":        cs.Misses,
+				"invalidations": cs.Invalidations,
+				"entries":       cs.Entries,
+				"capacity":      cs.Capacity,
+			},
 		})
 	})
 	mux.HandleFunc("GET /locations", func(w http.ResponseWriter, r *http.Request) {

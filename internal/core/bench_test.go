@@ -131,6 +131,49 @@ func BenchmarkJoinPointToPoint(b *testing.B) {
 
 var estSink *PointResult
 
+// BenchmarkEstimateCache contrasts a cold point estimation (the cache
+// miss path: full fused join + store) with a warm repeat of the same
+// query (key build + one locked map probe + struct copy). The hit/cold
+// ratio in BENCH_pr8.json is the speedup a dashboard replaying a fixed
+// window sees; acceptance wants hits ≥100× faster than cold at the
+// serving shape (m=2^20, t=10).
+func BenchmarkEstimateCache(b *testing.B) {
+	for _, m := range []int{1 << 14, 1 << 20, 1 << 24} {
+		for _, t := range []int{5, 10} {
+			set := benchSet(b, 1, t, m, 5)
+			name := fmt.Sprintf("m=2^%d/t=%d", log2(m), t)
+			b.Run(name+"/cold", func(b *testing.B) {
+				b.ReportAllocs()
+				c := NewEstCache(DefaultEstCacheEntries)
+				for i := 0; i < b.N; i++ {
+					// A fresh epoch per iteration defeats the cache: every
+					// call is a miss that computes and stores.
+					res, err := c.Point(uint64(i), set, SplitHalves)
+					if err != nil {
+						b.Fatal(err)
+					}
+					estSink = res
+				}
+			})
+			b.Run(name+"/hit", func(b *testing.B) {
+				b.ReportAllocs()
+				c := NewEstCache(DefaultEstCacheEntries)
+				if _, err := c.Point(1, set, SplitHalves); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := c.Point(1, set, SplitHalves)
+					if err != nil {
+						b.Fatal(err)
+					}
+					estSink = res
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkEstimatePoint measures the full point estimator — the fused
 // path materializes nothing at all (three AND+popcount streams).
 func BenchmarkEstimatePoint(b *testing.B) {

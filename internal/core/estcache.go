@@ -1,0 +1,316 @@
+package core
+
+// The estimate cache: memoized read side of the query plane.
+//
+// Records are immutable once ingested (the store only ever adds or drops
+// whole records), so an estimator's output is a pure function of
+// (location, period set, split parameters) — until an ingest changes
+// which records the location holds. EstCache memoizes full estimator
+// results behind that key, with ingest-time invalidation done by *epoch
+// fencing*: the owner of the record store (internal/central) maintains a
+// per-location epoch counter that it bumps on every accepted upload, and
+// the epoch is part of the cache key. A stale entry is never returned —
+// its key simply stops being generated — and dies by LRU eviction, so no
+// ingest ever scans the cache (lazy invalidation; DESIGN.md §13).
+//
+// Hits are bit-identical to misses by construction: the cache stores the
+// exact result struct a cold computation produced and hands back copies
+// of it. Nothing is recomputed on the hit path, so the floating-point
+// contract of the estimators (AndOnes evaluation order and all) is
+// trivially preserved.
+
+import (
+	"container/list"
+	"expvar"
+	"sync"
+	"sync/atomic"
+
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// Process-wide counter totals, aggregated across every EstCache ever
+// constructed and published under expvar ("ptm.estcache.*"). Per-cache
+// counters live on the cache (Stats); these exist so operators get the
+// standard /debug/vars view without the package holding references to
+// individual caches (which would leak short-lived test servers).
+var (
+	estExpvarOnce sync.Once
+
+	estHitsTotal          atomic.Uint64
+	estMissesTotal        atomic.Uint64
+	estInvalidationsTotal atomic.Uint64
+)
+
+// publishEstCacheVars registers the expvar views exactly once, on first
+// cache construction, so merely importing core never claims the names.
+func publishEstCacheVars() {
+	estExpvarOnce.Do(func() {
+		expvar.Publish("ptm.estcache.hits", expvar.Func(func() any {
+			return estHitsTotal.Load()
+		}))
+		expvar.Publish("ptm.estcache.misses", expvar.Func(func() any {
+			return estMissesTotal.Load()
+		}))
+		expvar.Publish("ptm.estcache.invalidations", expvar.Func(func() any {
+			return estInvalidationsTotal.Load()
+		}))
+	})
+}
+
+// DefaultEstCacheEntries is the LRU capacity central servers use unless
+// configured otherwise: at ~200 bytes per entry it bounds the cache near
+// 200 KiB while covering far more distinct (location, window) queries
+// than a monitoring dashboard replays.
+const DefaultEstCacheEntries = 1024
+
+// estKind separates the two estimator families in the key space.
+type estKind uint8
+
+const (
+	estKindPoint estKind = 1 + iota
+	estKindP2P
+)
+
+// estKey identifies one memoizable estimator invocation. Epochs are part
+// of the key: any ingest at a location bumps its epoch, so stale entries
+// become unreachable instead of being hunted down. The period set enters
+// as an FNV-1a hash; the entry keeps the exact periods and every hit
+// re-verifies them, so a hash collision degrades to a miss, never to a
+// wrong answer.
+type estKey struct {
+	kind           estKind
+	strategy       SplitStrategy
+	s              int
+	t              int
+	locA, locB     vhash.LocationID
+	epochA, epochB uint64
+	phash          uint64
+}
+
+// estEntry is one cached result (exactly one of point/p2p is set).
+type estEntry struct {
+	key     estKey
+	periods []record.PeriodID
+	point   PointResult
+	p2p     PointToPointResult
+}
+
+// EstCacheStats is a snapshot of the cache's counters.
+type EstCacheStats struct {
+	Hits, Misses, Invalidations uint64
+	Entries, Capacity           int
+}
+
+// EstCache is a bounded LRU of estimator results. A nil *EstCache is
+// valid and computes every request directly, so one code path serves
+// cached and uncached servers alike. All methods are safe for concurrent
+// use; estimator computation happens outside the lock (two racing misses
+// both compute — identical results, records being immutable — and the
+// later store wins).
+type EstCache struct {
+	mu sync.Mutex
+	//ptm:guardedby mu
+	entries map[estKey]*list.Element
+	//ptm:guardedby mu
+	order *list.List // front = most recently used; Values are *estEntry
+	cap   int
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// NewEstCache creates a cache bounded to capacity entries. A capacity
+// <= 0 returns nil — the always-compute cache.
+func NewEstCache(capacity int) *EstCache {
+	if capacity <= 0 {
+		return nil
+	}
+	publishEstCacheVars()
+	return &EstCache{
+		entries: make(map[estKey]*list.Element, capacity),
+		order:   list.New(),
+		cap:     capacity,
+	}
+}
+
+// hashPeriods folds a set's sorted period IDs through FNV-1a. Collisions
+// are tolerable (the hit path compares exact periods) but keep the
+// common case one map probe.
+//
+//ptm:noalloc
+func hashPeriods(set *record.Set) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i, n := 0, set.Len(); i < n; i++ {
+		p := uint32(set.PeriodAt(i))
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(p>>shift) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// periodsMatch reports whether the entry's periods are exactly the set's.
+//
+//ptm:noalloc
+func periodsMatch(periods []record.PeriodID, set *record.Set) bool {
+	if len(periods) != set.Len() {
+		return false
+	}
+	for i, p := range periods {
+		if p != set.PeriodAt(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the entry for key if present with exactly the given
+// periods, promoting it to most recently used.
+func (c *EstCache) lookup(key estKey, setA, setB *record.Set) (estEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return estEntry{}, false
+	}
+	e := el.Value.(*estEntry)
+	if !periodsMatch(e.periods, setA) || (setB != nil && !periodsMatch(e.periods, setB)) {
+		// phash collision (or aligned-in-hash-only sets): fall through to
+		// a cold compute; the store will overwrite this entry.
+		return estEntry{}, false
+	}
+	c.order.MoveToFront(el)
+	return *e, true
+}
+
+// store inserts or replaces the entry for key, evicting the LRU tail
+// beyond capacity.
+func (c *EstCache) store(e *estEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.order.PushFront(e)
+	for c.order.Len() > c.cap {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*estEntry).key)
+	}
+}
+
+// Point is EstimatePointOpts memoized under (location, epoch, periods,
+// strategy). epoch must fence every ingest that can change the set the
+// caller would assemble for these periods (internal/central bumps a
+// per-location counter on accepted uploads, WAL replay included).
+func (c *EstCache) Point(epoch uint64, set *record.Set, strategy SplitStrategy) (*PointResult, error) {
+	if c == nil {
+		return EstimatePointOpts(set, strategy)
+	}
+	key := estKey{
+		kind:     estKindPoint,
+		strategy: strategy,
+		t:        set.Len(),
+		locA:     set.Location(),
+		epochA:   epoch,
+		phash:    hashPeriods(set),
+	}
+	if e, ok := c.lookup(key, set, nil); ok {
+		c.hits.Add(1)
+		estHitsTotal.Add(1)
+		out := e.point
+		return &out, nil
+	}
+	c.misses.Add(1)
+	estMissesTotal.Add(1)
+	res, err := EstimatePointOpts(set, strategy)
+	if err != nil {
+		// Errors are not cached: they are cheap to rediscover and keeping
+		// them out preserves "entry present ⇒ valid result".
+		return nil, err
+	}
+	c.store(&estEntry{key: key, periods: set.Periods(), point: *res})
+	return res, nil
+}
+
+// PointToPoint is EstimatePointToPoint memoized under (both locations,
+// both epochs, periods, s). The location order is part of the key
+// (Eq. 21 is symmetric in the result but the caller's argument order is
+// preserved, matching the uncached path exactly).
+func (c *EstCache) PointToPoint(epochL, epochLP uint64, setL, setLPrime *record.Set, s int) (*PointToPointResult, error) {
+	if c == nil {
+		return EstimatePointToPoint(setL, setLPrime, s)
+	}
+	key := estKey{
+		kind:   estKindP2P,
+		s:      s,
+		t:      setL.Len(),
+		locA:   setL.Location(),
+		locB:   setLPrime.Location(),
+		epochA: epochL,
+		epochB: epochLP,
+		phash:  hashPeriods(setL),
+	}
+	if e, ok := c.lookup(key, setL, setLPrime); ok {
+		c.hits.Add(1)
+		estHitsTotal.Add(1)
+		out := e.p2p
+		return &out, nil
+	}
+	c.misses.Add(1)
+	estMissesTotal.Add(1)
+	res, err := EstimatePointToPoint(setL, setLPrime, s)
+	if err != nil {
+		return nil, err
+	}
+	c.store(&estEntry{key: key, periods: setL.Periods(), p2p: *res})
+	return res, nil
+}
+
+// NoteInvalidation records that an ingest invalidated (by epoch fencing)
+// whatever entries the affected location had. Counters only; no entry is
+// touched.
+//
+//ptm:noalloc
+func (c *EstCache) NoteInvalidation() {
+	if c != nil {
+		c.invalidations.Add(1)
+		estInvalidationsTotal.Add(1)
+	}
+}
+
+// Len returns the number of live entries.
+func (c *EstCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *EstCache) Stats() EstCacheStats {
+	if c == nil {
+		return EstCacheStats{}
+	}
+	c.mu.Lock()
+	entries := c.order.Len()
+	c.mu.Unlock()
+	return EstCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       entries,
+		Capacity:      c.cap,
+	}
+}

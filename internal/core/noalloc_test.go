@@ -40,3 +40,37 @@ func TestEstimatorHotPathsDoNotAllocate(t *testing.T) {
 
 	_ = sink
 }
+
+// TestEstCacheHelpersDoNotAllocate mirrors the //ptm:noalloc contracts
+// on the estimate cache's per-lookup helpers (these run on every query,
+// hit or miss).
+func TestEstCacheHelpersDoNotAllocate(t *testing.T) {
+	pool := newIDPool(t, 2, 43)
+	set := makeSet(t, pool, 8, 1<<8, pool.take(20), []int{10, 10, 10})
+	periods := set.Periods()
+	c := NewEstCache(4)
+	var sinkU uint64
+	var sinkB bool
+
+	if n := testing.AllocsPerRun(100, func() {
+		sinkU = hashPeriods(set)
+	}); n != 0 {
+		t.Errorf("hashPeriods allocated %.1f times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sinkB = periodsMatch(periods, set)
+	}); n != 0 {
+		t.Errorf("periodsMatch allocated %.1f times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		c.NoteInvalidation()
+	}); n != 0 {
+		t.Errorf("NoteInvalidation allocated %.1f times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sinkU = uint64(set.PeriodAt(0))
+	}); n != 0 {
+		t.Errorf("PeriodAt allocated %.1f times per run, want 0", n)
+	}
+	_, _ = sinkU, sinkB
+}

@@ -17,9 +17,10 @@
 #   7. go test -race       (unit + integration tests under the race
 #                          detector, -shuffle=on to surface order
 #                          dependence between tests)
-#   8. race stress smoke   (the WAL and RSU concurrency stress tests again
-#                          under -race -count=2 — the dynamic complement of
-#                          the static concguard contracts)
+#   8. race stress smoke   (the WAL, RSU, and estimate-cache concurrency
+#                          stress tests again under -race -count=2 — the
+#                          dynamic complement of the static concguard
+#                          contracts)
 #   9. fuzz smoke          (a few seconds per fuzz target, seeds + mutation)
 #
 # Usage: scripts/check.sh [fuzztime]
@@ -80,9 +81,10 @@ fi
 step "go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
-step "race stress smoke (-race -count=2, WAL group commit + RSU ingest)"
+step "race stress smoke (-race -count=2, WAL group commit + RSU ingest + estimate cache)"
 go test -race -count=2 -run '^TestGroupCommitConcurrentAppends$' ./internal/wal/
 go test -race -count=2 -run '^(TestConcurrentReportStorm|TestReportsRaceRotation|TestDifferentialAtomicVsSequential)$' ./internal/rsu/
+go test -race -count=2 -run '^TestEstCacheConcurrentQueryIngest$' ./internal/central/
 
 # Archive the committed benchmark baselines (regenerate with `make
 # bench-json` / `make bench-ingest`) next to the lint report so CI
@@ -97,6 +99,7 @@ step "fuzz smoke ($FUZZTIME per target)"
 # Each fuzz target runs alone: `go test -fuzz` accepts a single match.
 go test -run=NONE -fuzz='^FuzzUnmarshal$' -fuzztime="$FUZZTIME" ./internal/bitmap/
 go test -run=NONE -fuzz='^FuzzFusedJoin$' -fuzztime="$FUZZTIME" ./internal/bitmap/
+go test -run=NONE -fuzz='^FuzzFusedJoinWide$' -fuzztime="$FUZZTIME" ./internal/bitmap/
 go test -run=NONE -fuzz='^FuzzUnmarshal$' -fuzztime="$FUZZTIME" ./internal/record/
 go test -run=NONE -fuzz='^FuzzRoundTrip$' -fuzztime="$FUZZTIME" ./internal/record/
 go test -run=NONE -fuzz='^FuzzIndex$' -fuzztime="$FUZZTIME" ./internal/vhash/
