@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-fast check bench bench-json bench-ingest bench-wal bench-kernel
+.PHONY: build test lint lint-fast check bench bench-json bench-ingest bench-wal bench-kernel bench-ooc
 
 build:
 	$(GO) build ./...
@@ -82,3 +82,18 @@ bench-wal:
 		-benchmem -cpu=1,4,8 \
 		./internal/wal/ ./internal/central/ \
 		| $(GO) run ./cmd/benchjson > BENCH_pr5.json
+
+# bench-ooc records the memory-hierarchy baseline as BENCH_pr9.json: the
+# same m=2^24 four-period AND join against the resident store, the cold
+# tier with a warm block cache, and the cold tier with a degenerate
+# cache (every span madvise-evicted between iterations). Each row
+# carries its tier/pagecache/budget/m/t parameters (benchjson lifts the
+# key=value name segments into structured params) plus cache
+# hit/miss/eviction counters per op. Override OOC_BENCH_OUT for A/B runs.
+OOC_BENCH_OUT ?= BENCH_pr9.json
+
+bench-ooc:
+	$(GO) test -run=NONE \
+		-bench='BenchmarkOOCJoin' \
+		-benchmem ./internal/store/ \
+		| $(GO) run ./cmd/benchjson > $(OOC_BENCH_OUT)

@@ -40,6 +40,12 @@ type Entry struct {
 	// the benchmark reported no throughput.
 	BytesPerNs float64            `json:"bytes_per_ns,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// Params are key=value segments embedded in the benchmark name
+	// (e.g. BenchmarkJoin/pagecache=warm/budget=64M-8): the workload
+	// parameters that make a committed baseline row reproducible —
+	// page-cache state, resident budget, operand size — surfaced as
+	// structured fields so diffs can filter on them.
+	Params map[string]string `json:"params,omitempty"`
 }
 
 // Doc is the top-level JSON document.
@@ -120,7 +126,7 @@ func parseLine(line string) (*Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad run count in %q: %w", line, err)
 	}
-	e := &Entry{Name: fields[0], Runs: runs}
+	e := &Entry{Name: fields[0], Runs: runs, Params: nameParams(fields[0])}
 	rest := fields[2:]
 	if len(rest)%2 != 0 {
 		return nil, fmt.Errorf("odd value/unit pairing in %q", line)
@@ -153,6 +159,34 @@ func parseLine(line string) (*Entry, error) {
 		}
 	}
 	return e, nil
+}
+
+// nameParams extracts key=value sub-benchmark segments from a result
+// name. The GOMAXPROCS suffix go test appends to the final segment
+// (-8 in budget=64M-8) is stripped before the value is read; segments
+// without "=" contribute nothing. Returns nil when the name carries no
+// parameters, keeping params out of the JSON for plain benchmarks.
+func nameParams(name string) map[string]string {
+	segs := strings.Split(name, "/")
+	// Strip the trailing -N (GOMAXPROCS) from the last segment only.
+	last := segs[len(segs)-1]
+	if i := strings.LastIndexByte(last, '-'); i > 0 {
+		if _, err := strconv.Atoi(last[i+1:]); err == nil {
+			segs[len(segs)-1] = last[:i]
+		}
+	}
+	var params map[string]string
+	for _, seg := range segs {
+		k, v, ok := strings.Cut(seg, "=")
+		if !ok || k == "" {
+			continue
+		}
+		if params == nil {
+			params = map[string]string{}
+		}
+		params[k] = v
+	}
+	return params
 }
 
 // goamd64 reports the effective GOAMD64 microarchitecture level the

@@ -94,3 +94,47 @@ func TestParseRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestNameParams(t *testing.T) {
+	cases := []struct {
+		name string
+		want map[string]string
+	}{
+		{"BenchmarkJoin-8", nil},
+		{"BenchmarkJoin/size=64-8", map[string]string{"size": "64"}},
+		{"BenchmarkColdJoin/pagecache=warm/budget=64M/m=16777216-16",
+			map[string]string{"pagecache": "warm", "budget": "64M", "m": "16777216"}},
+		// -N stripping applies only to the trailing GOMAXPROCS suffix,
+		// not to hyphens inside values.
+		{"BenchmarkX/mode=read-only-8", map[string]string{"mode": "read-only"}},
+		{"BenchmarkX/plain/k=v-4", map[string]string{"k": "v"}},
+		{"BenchmarkX/=bad-8", nil},
+	}
+	for _, c := range cases {
+		got := nameParams(c.name)
+		if len(got) != len(c.want) {
+			t.Errorf("nameParams(%q) = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for k, v := range c.want {
+			if got[k] != v {
+				t.Errorf("nameParams(%q)[%s] = %q, want %q", c.name, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestParseEmitsParams(t *testing.T) {
+	in := "pkg: ptm/internal/store\nBenchmarkColdJoin/pagecache=cold/budget=4K-8 10 5000 ns/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("results = %+v", doc.Results)
+	}
+	e := doc.Results[0]
+	if e.Params["pagecache"] != "cold" || e.Params["budget"] != "4K" {
+		t.Errorf("params = %v", e.Params)
+	}
+}

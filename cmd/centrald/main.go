@@ -15,6 +15,18 @@
 // nothing. -checkpoint-every bounds replay length between compactions.
 // -wal and -load/-save are mutually exclusive — the WAL's own
 // checkpoints are the snapshots.
+//
+// The record store itself is selected with -store:
+//
+//	-store mem     everything resident (the default)
+//	-store tiered  hot records in RAM, sealed periods frozen to
+//	               immutable segments under -cold DIR once the hot
+//	               payload exceeds -resident-budget
+//	-store mmap    read-only query head over an existing -cold DIR
+//
+// Cold reads go through a bounded block cache; PTM_BLOCKCACHE_BYTES
+// overrides its default capacity (256MiB). -resident-budget and the
+// env var accept plain bytes or K/M/G/T suffixes (binary, e.g. 64M).
 package main
 
 import (
@@ -26,9 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"ptm/internal/central"
+	"ptm/internal/store"
 	"ptm/internal/transport"
 	"ptm/internal/wal"
 )
@@ -53,6 +68,9 @@ type config struct {
 	walDir    string
 	sync      string
 	ckptEvery int
+	storeKind string // mem|tiered|mmap; "" means mem
+	coldDir   string
+	budget    string // resident-budget byte size; "" means unlimited
 	// ready and httpReady, if non-nil, receive the bound addresses once
 	// serving — used by tests to synchronize.
 	ready     chan<- string
@@ -70,47 +88,169 @@ func parseFlags(args []string) config {
 	fs.StringVar(&cfg.walDir, "wal", "", "write-ahead-log directory (empty: in-memory store)")
 	fs.StringVar(&cfg.sync, "sync", "always", "WAL sync policy: always, interval, never")
 	fs.IntVar(&cfg.ckptEvery, "checkpoint-every", 1024, "checkpoint the WAL every N ingested records (0: only at shutdown)")
+	fs.StringVar(&cfg.storeKind, "store", "mem", "record store: mem, tiered, or mmap")
+	fs.StringVar(&cfg.coldDir, "cold", "", "segment directory for -store=tiered/mmap")
+	fs.StringVar(&cfg.budget, "resident-budget", "", "hot-tier payload bound for -store=tiered, e.g. 64M (empty: unlimited)")
 	//ptmlint:allow errdrop -- flag.ExitOnError exits the process on a parse failure
 	_ = fs.Parse(args)
 	return cfg
 }
 
+// parseByteSize parses a byte count: a plain integer, optionally with a
+// binary suffix K, M, G, or T (KiB/MiB/GiB/TiB are accepted too).
+func parseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	shift := 0
+	for suf, sh := range map[string]int{"K": 10, "M": 20, "G": 30, "T": 40} {
+		for _, full := range []string{suf + "iB", suf + "B", suf} {
+			if strings.HasSuffix(t, full) {
+				t, shift = strings.TrimSuffix(t, full), sh
+				break
+			}
+		}
+		if shift != 0 {
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 || n > (1<<62)>>shift {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return n << shift, nil
+}
+
+// cacheBytesFromEnv reads PTM_BLOCKCACHE_BYTES; 0 means "use the
+// store's default".
+func cacheBytesFromEnv() (int64, error) {
+	v := os.Getenv("PTM_BLOCKCACHE_BYTES")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := parseByteSize(v)
+	if err != nil {
+		return 0, fmt.Errorf("PTM_BLOCKCACHE_BYTES: %w", err)
+	}
+	return n, nil
+}
+
+// buildServer constructs the central server over the store selected by
+// -store/-cold/-resident-budget. readOnly reports an mmap head.
+func buildServer(cfg config, logger *log.Logger) (srv *central.Server, readOnly bool, err error) {
+	kind := cfg.storeKind
+	if kind == "" {
+		kind = "mem"
+	}
+	cacheBytes, err := cacheBytesFromEnv()
+	if err != nil {
+		return nil, false, err
+	}
+	var budget int64
+	if cfg.budget != "" {
+		if budget, err = parseByteSize(cfg.budget); err != nil {
+			return nil, false, fmt.Errorf("-resident-budget: %w", err)
+		}
+	}
+	switch kind {
+	case "mem":
+		if cfg.coldDir != "" || cfg.budget != "" {
+			return nil, false, errors.New("-cold/-resident-budget require -store=tiered or -store=mmap")
+		}
+		srv, err = central.NewServer(cfg.s)
+		return srv, false, err
+	case "tiered":
+		if cfg.coldDir == "" {
+			return nil, false, errors.New("-store=tiered requires -cold DIR")
+		}
+		ts, err := store.OpenTiered(cfg.coldDir, store.TieredOptions{
+			ResidentBudget: budget,
+			CacheBytes:     cacheBytes,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		srv, err = central.NewServerWithStore(cfg.s, ts)
+		if err != nil {
+			//ptmlint:allow errdrop -- the construction error is what the caller sees
+			_ = ts.Close()
+			return nil, false, err
+		}
+		st := ts.Stats()
+		logger.Printf("tiered store in %s: %d cold records across %d segments (budget %s)",
+			cfg.coldDir, st.ColdRecords, st.Segments, orUnlimited(cfg.budget))
+		return srv, false, nil
+	case "mmap":
+		if cfg.coldDir == "" {
+			return nil, false, errors.New("-store=mmap requires -cold DIR")
+		}
+		if cfg.budget != "" {
+			return nil, false, errors.New("-resident-budget is meaningless for the read-only -store=mmap")
+		}
+		ms, err := store.OpenMmap(cfg.coldDir, cacheBytes)
+		if err != nil {
+			return nil, false, err
+		}
+		srv, err = central.NewServerWithStore(cfg.s, ms)
+		if err != nil {
+			//ptmlint:allow errdrop -- the construction error is what the caller sees
+			_ = ms.Close()
+			return nil, false, err
+		}
+		st := ms.Stats()
+		logger.Printf("read-only mmap store over %s: %d records in %d segments",
+			cfg.coldDir, st.Records, st.Segments)
+		return srv, true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown -store %q (want mem, tiered, or mmap)", kind)
+	}
+}
+
+func orUnlimited(s string) string {
+	if s == "" {
+		return "unlimited"
+	}
+	return s
+}
+
 // serve runs the daemon until a signal arrives on sigc or the listener
 // fails.
 func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
+	head, readOnly, err := buildServer(cfg, logger)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := head.CloseStore(); err != nil {
+			logger.Printf("closing store: %v", err)
+		}
+	}()
 	var (
-		store   *central.Server
 		durable *central.Durable
-		tstore  transport.Store
+		tstore  transport.Store = head
 	)
 	if cfg.walDir != "" {
 		if cfg.load != "" || cfg.save != "" {
 			return errors.New("-wal is exclusive with -load/-save: checkpoints are the snapshots")
 		}
+		if readOnly {
+			return errors.New("-wal is meaningless for the read-only -store=mmap")
+		}
 		policy, err := wal.ParseSyncPolicy(cfg.sync)
 		if err != nil {
 			return err
 		}
-		durable, err = central.OpenDurable(cfg.walDir, cfg.s, central.DefaultShards, wal.Options{Sync: policy}, cfg.ckptEvery)
+		durable, err = central.OpenDurableServer(cfg.walDir, head, wal.Options{Sync: policy}, cfg.ckptEvery)
 		if err != nil {
 			return err
 		}
-		store, tstore = durable.Server, durable
+		tstore = durable
 		st := durable.LogStats()
 		logger.Printf("recovered %d locations from %s (replayed %d log entries, truncated %d torn bytes)",
-			len(store.Locations()), cfg.walDir, st.Entries, st.TruncatedBytes)
-	} else {
-		var err error
-		if store, err = central.NewServer(cfg.s); err != nil {
+			len(head.Locations()), cfg.walDir, st.Entries, st.TruncatedBytes)
+	} else if cfg.load != "" {
+		if err := loadSnapshot(head, cfg.load); err != nil {
 			return err
 		}
-		tstore = store
-		if cfg.load != "" {
-			if err := loadSnapshot(store, cfg.load); err != nil {
-				return err
-			}
-			logger.Printf("restored %d locations from %s", len(store.Locations()), cfg.load)
-		}
+		logger.Printf("restored %d locations from %s", len(head.Locations()), cfg.load)
 	}
 
 	srv, err := transport.NewServer(tstore, logger)
@@ -128,7 +268,7 @@ func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
 		if err != nil {
 			return fmt.Errorf("http listen: %w", err)
 		}
-		httpSrv := &http.Server{Handler: store.Handler()}
+		httpSrv := &http.Server{Handler: head.Handler()}
 		//ptmlint:allow goroutinehygiene -- lifecycle is bounded by the deferred httpSrv.Close below
 		go func() {
 			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -182,7 +322,7 @@ func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
 		logger.Printf("wal flushed and checkpointed in %s", cfg.walDir)
 	}
 	if cfg.save != "" {
-		if err := saveSnapshot(store, cfg.save); err != nil {
+		if err := saveSnapshot(head, cfg.save); err != nil {
 			return err
 		}
 		logger.Printf("snapshot written to %s", cfg.save)
@@ -190,12 +330,12 @@ func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
 	return nil
 }
 
-func loadSnapshot(store *central.Server, path string) error {
+func loadSnapshot(srv *central.Server, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("opening snapshot: %w", err)
 	}
-	err = store.LoadFrom(f)
+	err = srv.LoadFrom(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -205,12 +345,12 @@ func loadSnapshot(store *central.Server, path string) error {
 	return nil
 }
 
-func saveSnapshot(store *central.Server, path string) error {
+func saveSnapshot(srv *central.Server, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("creating snapshot: %w", err)
 	}
-	err = store.SaveTo(f)
+	err = srv.SaveTo(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

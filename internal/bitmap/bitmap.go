@@ -64,6 +64,39 @@ func MustNew(n int) *Bitmap {
 	return b
 }
 
+// FromWords returns a Bitmap view over an existing word slice without
+// copying: the bitmap and the caller share storage. len(words) must be a
+// power of two in [1, MaxBits/64]. This is the zero-deserialization entry
+// point of the out-of-core store: a checkpoint segment's mapped pages are
+// wrapped directly and joined by the fused kernels.
+//
+// The view carries the caller's mutability: wrapping words that live in a
+// read-only mapping (a mapped segment) yields a bitmap on which any write
+// (Set, Reset, And, ...) faults. Treat such views as sealed records —
+// exactly what the join plane's //ptm:exclusive contracts already assume.
+//
+//ptm:exclusive constructs a view not yet published
+func FromWords(words []uint64) (*Bitmap, error) {
+	n := len(words)
+	if n < 1 || n > MaxBits/wordBits {
+		return nil, fmt.Errorf("%w: %d words not in [1, %d]", ErrSizeOutOfRange, n, MaxBits/wordBits)
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("%w: %d words", ErrSizeNotPowerOfTwo, n)
+	}
+	return &Bitmap{words: words, nbits: n * wordBits}, nil
+}
+
+// Uint64s returns the bitmap's backing words (bit i lives at
+// words[i/64] bit i%64, the little-endian layout the segment format
+// stores verbatim). The slice is the bitmap's own storage: callers must
+// treat it as read-only. It is the inverse of FromWords.
+//
+//ptm:exclusive segment writers read sealed records
+//ptm:noalloc
+//ptm:inline
+func (b *Bitmap) Uint64s() []uint64 { return b.words }
+
 // Size returns the number of bits.
 //
 //ptm:noalloc
@@ -333,16 +366,35 @@ const (
 //ptm:sink bitmap serialization
 //ptm:exclusive serialization of a sealed record
 func (b *Bitmap) MarshalBinary() ([]byte, error) {
-	out := make([]byte, headerLen+len(b.words)*8+4)
+	return b.AppendBinary(nil)
+}
+
+// AppendBinary appends the MarshalBinary encoding to dst and returns the
+// extended slice, reusing dst's capacity. Streaming writers (the
+// snapshot and WAL paths) call it with a scratch buffer so serializing n
+// records costs zero steady-state allocations instead of n.
+//
+//ptm:sink bitmap serialization
+//ptm:exclusive serialization of a sealed record
+func (b *Bitmap) AppendBinary(dst []byte) ([]byte, error) {
+	base := len(dst)
+	n := headerLen + len(b.words)*8 + 4
+	if cap(dst)-base < n {
+		grown := make([]byte, base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := dst[base : base+n]
 	binary.LittleEndian.PutUint32(out[0:4], marshalMagic)
 	out[4] = marshalVersion
+	out[5], out[6], out[7] = 0, 0, 0
 	binary.LittleEndian.PutUint32(out[8:12], uint32(b.nbits))
 	for i, w := range b.words {
 		binary.LittleEndian.PutUint64(out[headerLen+i*8:], w)
 	}
 	sum := crc32.ChecksumIEEE(out[:len(out)-4])
 	binary.LittleEndian.PutUint32(out[len(out)-4:], sum)
-	return out, nil
+	return dst[:base+n], nil
 }
 
 // Unmarshal parses a bitmap serialized by MarshalBinary, verifying the

@@ -132,15 +132,25 @@ func joinOnesByWord(ms []*Bitmap, words int, and bool) int {
 }
 
 // joinOnes2 is the two-operand fast path: every estimator's final
-// E_a ∧ E_b and E* ∨ E′* step lands here. The emptiness guard is
-// unreachable (New enforces >= 64 bits) but hands the prove pass the
-// len > 0 fact it needs to eliminate both masked bounds checks.
+// E_a ∧ E_b and E* ∨ E′* step lands here. It delegates to the word-slice
+// kernel shared with the out-of-core store's mapped-page joins.
+//
+//ptm:exclusive join plane reads sealed records
+//ptm:noalloc
+//ptm:inline
+func joinOnes2(a, b *Bitmap, words int, and bool) int {
+	return joinOnes2W(a.words, b.words, words, and)
+}
+
+// joinOnes2W is joinOnes2 over raw word slices. The emptiness guard is
+// unreachable from the Bitmap path (New enforces >= 64 bits) but hands
+// the prove pass the len > 0 fact it needs to eliminate both masked
+// bounds checks — and makes the word-view entry points total.
 //
 //ptm:exclusive join plane reads sealed records
 //ptm:noalloc
 //ptm:nobce
-func joinOnes2(a, b *Bitmap, words int, and bool) int {
-	aw, bw := a.words, b.words
+func joinOnes2W(aw, bw []uint64, words int, and bool) int {
 	if len(aw) == 0 || len(bw) == 0 {
 		return 0
 	}

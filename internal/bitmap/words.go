@@ -1,0 +1,182 @@
+// Word-view join entry points: the fused kernels of fused.go/block.go
+// over raw []uint64 operands instead of *Bitmap receivers.
+//
+// The out-of-core store (internal/store) keeps sealed records in mapped
+// checkpoint segments whose bitmap words are written little-endian and
+// 64-byte aligned, so a mapped record is already the words slice the
+// kernels stream over — no unmarshal step, no copy. These entry points
+// accept such slices directly; the *Bitmap paths delegate to the same
+// underlying kernels (joinOnes2W, joinOnesRegs), so resident and mapped
+// operands take one code path and the differential tests of
+// words_test.go prove the two views bit-identical.
+//
+// Every operand must have a power-of-two length in [1, MaxBits/64]
+// words, the invariant New and FromWords enforce for *Bitmap — it is
+// what makes the replication expansion a mask (DESIGN.md §8).
+
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AndOnesWords returns the popcount of the AND-join of the word-slice
+// operands, each virtually expanded to the largest operand's size m
+// (returned in bits), without allocating or copying. It is AndOnes for
+// operands that are raw words — a mapped segment's record views.
+//
+//ptm:noalloc
+//ptm:inline
+func AndOnesWords(ws [][]uint64) (ones, m int, err error) {
+	return joinOnesW(ws, true)
+}
+
+// OrOnesWords is AndOnesWords for the OR join.
+//
+//ptm:noalloc
+//ptm:inline
+func OrOnesWords(ws [][]uint64) (ones, m int, err error) {
+	return joinOnesW(ws, false)
+}
+
+// joinOnesW validates and dispatches exactly like joinOnes: block-sized
+// outputs go to the shared register kernel (small operands collapsed to
+// one pattern slot), two-operand joins to joinOnes2W, the rest to the
+// modular-mask reference loop. Joins wider than maxFusedOperands take
+// the reference loop rather than a word-slice clone of the tiled
+// traversal: the wide-join case on the mapped path is bounded by page
+// faults, not register pressure, and one loop keeps the kernels shared.
+//
+//ptm:noalloc
+func joinOnesW(ws [][]uint64, and bool) (ones, m int, err error) {
+	if len(ws) == 0 {
+		return 0, 0, ErrJoinEmpty
+	}
+	maxWords := 0
+	for _, w := range ws {
+		n := len(w)
+		if n < 1 || n > MaxBits/wordBits || n&(n-1) != 0 {
+			return 0, 0, fmt.Errorf("%w: operand of %d words", ErrSizeNotPowerOfTwo, n)
+		}
+		if n > maxWords {
+			maxWords = n
+		}
+	}
+	m = maxWords * wordBits
+	if len(ws) == 1 {
+		return popcountWords(ws[0]), m, nil
+	}
+	if maxWords >= blockWords {
+		var ops [maxFusedOperands][]uint64
+		var pat [blockWords]uint64
+		n, ok := gatherOpsW(ws, &ops)
+		if ok && gatherPatW(ws, &pat, and) {
+			if n == len(ops) {
+				ok = false
+			} else {
+				ops[n] = pat[:]
+				n++
+			}
+		}
+		if ok {
+			return joinOnesRegs(maxWords, ops[:n], and), m, nil
+		}
+	}
+	if len(ws) == 2 {
+		return joinOnes2W(ws[0], ws[1], maxWords, and), m, nil
+	}
+	return joinOnesByWordW(ws, maxWords, and), m, nil
+}
+
+// gatherOpsW is gatherOps over word slices: it collects the
+// block-sized-or-larger operands in input order, reporting ok=false when
+// they exceed the register kernel's operand budget.
+//
+//ptm:noalloc
+func gatherOpsW(ws [][]uint64, ops *[maxFusedOperands][]uint64) (int, bool) {
+	n := 0
+	for _, w := range ws {
+		if len(w) < blockWords {
+			continue
+		}
+		if n >= len(ops) {
+			return 0, false
+		}
+		ops[n] = w
+		n++
+	}
+	return n, true
+}
+
+// gatherPatW is gatherPat over word slices: operands smaller than one
+// block divide blockWords, so their virtual expansion contributes the
+// same blockWords words to every aligned block and they collapse into a
+// single pre-joined pattern. Returns whether any small operand existed.
+//
+//ptm:noalloc
+//ptm:nobce
+func gatherPatW(ws [][]uint64, pat *[blockWords]uint64, and bool) bool {
+	if and {
+		for i := range pat {
+			pat[i] = ^uint64(0)
+		}
+	} else {
+		for i := range pat {
+			pat[i] = 0
+		}
+	}
+	has := false
+	for _, ow := range ws {
+		if len(ow) >= blockWords || len(ow) == 0 {
+			continue
+		}
+		has = true
+		mask := len(ow) - 1
+		if and {
+			for i := range pat {
+				pat[i] &= ow[i&mask]
+			}
+		} else {
+			for i := range pat {
+				pat[i] |= ow[i&mask]
+			}
+		}
+	}
+	return has
+}
+
+// joinOnesByWordW is the modular-mask reference loop over word slices —
+// the word-view twin of joinOnesByWord and the differential oracle for
+// the register dispatch above (words_test.go).
+//
+//ptm:noalloc
+func joinOnesByWordW(ws [][]uint64, words int, and bool) int {
+	first := ws[0]
+	rest := ws[1:]
+	if len(first) == 0 {
+		return 0
+	}
+	fm := len(first) - 1
+	ones := 0
+	for i := 0; i < words; i++ {
+		w := first[i&fm]
+		if and {
+			for _, ow := range rest {
+				if len(ow) == 0 {
+					continue
+				}
+				w &= ow[i&(len(ow)-1)]
+			}
+		} else {
+			for _, ow := range rest {
+				if len(ow) == 0 {
+					continue
+				}
+				w |= ow[i&(len(ow)-1)]
+			}
+		}
+		ones += bits.OnesCount64(w)
+	}
+	return ones
+}

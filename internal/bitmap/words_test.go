@@ -1,0 +1,136 @@
+package bitmap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomBitmapsW builds mixed-size operands with deterministic contents.
+func randomBitmapsW(t *testing.T, rng *rand.Rand, n int) []*Bitmap {
+	t.Helper()
+	sizes := []int{64, 128, 256, 512, 1024, 4096}
+	ms := make([]*Bitmap, n)
+	for i := range ms {
+		b := MustNew(sizes[rng.Intn(len(sizes))])
+		for j := range b.words {
+			b.words[j] = rng.Uint64() & rng.Uint64() // ~25% density
+		}
+		ms[i] = b
+	}
+	return ms
+}
+
+// TestWordsJoinDifferential proves the word-view entry points
+// bit-identical to the *Bitmap kernels across operand counts that hit
+// every dispatch arm (1, 2, block-sized, sub-block, > maxFusedOperands).
+func TestWordsJoinDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 5, 10, maxFusedOperands, maxFusedOperands + 1, 2*maxFusedOperands + 3} {
+		for trial := 0; trial < 20; trial++ {
+			ms := randomBitmapsW(t, rng, n)
+			ws := make([][]uint64, n)
+			for i, b := range ms {
+				ws[i] = b.Uint64s()
+			}
+			wantOnes, wantM, err := AndOnes(ms)
+			if err != nil {
+				t.Fatalf("AndOnes: %v", err)
+			}
+			gotOnes, gotM, err := AndOnesWords(ws)
+			if err != nil {
+				t.Fatalf("AndOnesWords: %v", err)
+			}
+			if gotOnes != wantOnes || gotM != wantM {
+				t.Fatalf("n=%d AND: words view (%d, %d) != bitmap view (%d, %d)", n, gotOnes, gotM, wantOnes, wantM)
+			}
+			wantOnes, wantM, err = OrOnes(ms)
+			if err != nil {
+				t.Fatalf("OrOnes: %v", err)
+			}
+			gotOnes, gotM, err = OrOnesWords(ws)
+			if err != nil {
+				t.Fatalf("OrOnesWords: %v", err)
+			}
+			if gotOnes != wantOnes || gotM != wantM {
+				t.Fatalf("n=%d OR: words view (%d, %d) != bitmap view (%d, %d)", n, gotOnes, gotM, wantOnes, wantM)
+			}
+		}
+	}
+}
+
+func TestWordsJoinErrors(t *testing.T) {
+	if _, _, err := AndOnesWords(nil); err == nil {
+		t.Fatal("empty operand list accepted")
+	}
+	if _, _, err := AndOnesWords([][]uint64{make([]uint64, 3)}); err == nil {
+		t.Fatal("non-power-of-two operand accepted")
+	}
+	if _, _, err := AndOnesWords([][]uint64{nil}); err == nil {
+		t.Fatal("empty operand accepted")
+	}
+	if _, _, err := OrOnesWords([][]uint64{make([]uint64, 2), make([]uint64, 5)}); err == nil {
+		t.Fatal("non-power-of-two second operand accepted")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	b := MustNew(256)
+	for i := range b.words {
+		b.words[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	v, err := FromWords(b.Uint64s())
+	if err != nil {
+		t.Fatalf("FromWords: %v", err)
+	}
+	if !v.Equal(b) {
+		t.Fatal("view differs from original")
+	}
+	if v.Size() != 256 || v.Words() != 4 {
+		t.Fatalf("view shape = (%d bits, %d words)", v.Size(), v.Words())
+	}
+	// Shared storage: a write through the original is visible in the view.
+	b.Set(7)
+	if !v.Get(7) {
+		t.Fatal("view does not share storage")
+	}
+	for _, bad := range [][]uint64{nil, make([]uint64, 3), make([]uint64, MaxBits/wordBits*2)} {
+		if _, err := FromWords(bad); err == nil {
+			t.Fatalf("FromWords accepted %d words", len(bad))
+		}
+	}
+}
+
+func TestAppendBinaryMatchesMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	scratch := make([]byte, 0, 64)
+	for _, size := range []int{64, 512, 4096} {
+		b := MustNew(size)
+		for i := range b.words {
+			b.words[i] = rng.Uint64()
+		}
+		want, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary: %v", err)
+		}
+		got, err := b.AppendBinary(scratch[:0])
+		if err != nil {
+			t.Fatalf("AppendBinary: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("size %d: AppendBinary differs from MarshalBinary", size)
+		}
+		scratch = got // reuse grown capacity, as the streaming writers do
+		// Appending after a prefix preserves the prefix.
+		withPrefix, err := b.AppendBinary([]byte{0xaa, 0xbb})
+		if err != nil {
+			t.Fatalf("AppendBinary with prefix: %v", err)
+		}
+		if !bytes.Equal(withPrefix[:2], []byte{0xaa, 0xbb}) || !bytes.Equal(withPrefix[2:], want) {
+			t.Fatalf("size %d: prefixed AppendBinary corrupted output", size)
+		}
+		if rt, err := Unmarshal(got); err != nil || !rt.Equal(b) {
+			t.Fatalf("size %d: round trip failed: %v", size, err)
+		}
+	}
+}

@@ -5,16 +5,20 @@
 // point-to-point persistent traffic (Eq. 21). Because records are
 // privacy-preserving bitmaps, the server never holds per-vehicle data.
 //
-// # Concurrency
+// # Storage
 //
-// The store is sharded by location: each shard holds a disjoint slice of
-// the location space under its own RWMutex, so uploads for different
-// locations (the common case — every RSU reports a distinct location)
-// take disjoint locks and proceed in parallel. All methods are safe for
-// concurrent use. Cross-shard operations (Locations, Stats, DropBefore,
-// SaveTo) lock one shard at a time, so they see a per-shard-consistent
-// — not globally atomic — view; that is fine because records are
-// immutable once ingested and never modified in place.
+// The server runs on a store.Store: fully resident (store.Mem, the
+// default), tiered with an out-of-core cold tier of mapped checkpoint
+// segments (store.Tiered), or read-only over a segment directory
+// (store.Mmap). The query plane is tier-oblivious — a record served off
+// a mapped segment page is bit-identical to a resident one, so every
+// estimate is too (proven by the differential tests in store). Cold
+// reads hand out records that view mapped pages; the server holds their
+// pins exactly for the duration of the estimator call.
+//
+// All methods are safe for concurrent use; consistency guarantees (the
+// (records, epoch) snapshot that fences the estimate cache) are the
+// store's contract.
 package central
 
 import (
@@ -24,48 +28,33 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/bits"
-	"sort"
-	"sync"
 
 	"ptm/internal/core"
 	"ptm/internal/record"
+	"ptm/internal/store"
 	"ptm/internal/vhash"
 )
 
-// Errors.
+// Errors. ErrDuplicate and ErrNotFound alias the store's sentinels so
+// transport handlers and WAL replay match them with errors.Is no matter
+// which tier produced them.
 var (
-	ErrDuplicate = errors.New("central: record for this location and period already stored")
-	ErrNotFound  = errors.New("central: no record for requested location/period")
+	ErrDuplicate = store.ErrDuplicate
+	ErrNotFound  = store.ErrNotFound
 	ErrNoPeriods = errors.New("central: query names no periods")
 )
 
-// DefaultShards is the shard count used by NewServer: enough that a
-// city's worth of RSUs uploading at period end rarely collide on a lock,
-// small enough that cross-shard iteration stays cheap.
-const DefaultShards = 16
+// DefaultShards is the resident store's shard count used by NewServer:
+// enough that a city's worth of RSUs uploading at period end rarely
+// collide on a lock, small enough that cross-shard iteration stays cheap.
+const DefaultShards = store.DefaultShards
 
-// shard is one lock domain of the store.
-type shard struct {
-	mu sync.RWMutex
-	// byLoc[loc][period] holds the stored records for this shard's slice
-	// of the location space (the guard covers the inner maps too).
-	//ptm:guardedby mu
-	byLoc map[vhash.LocationID]map[record.PeriodID]*record.Record
-	// epoch[loc] counts accepted ingests at loc. It fences the estimate
-	// cache: the epoch is part of every cache key, so bumping it makes
-	// all cached estimates for the location unreachable (lazy
-	// invalidation — see core.EstCache and DESIGN.md §13).
-	//ptm:guardedby mu
-	epoch map[vhash.LocationID]uint64
-}
-
-// Server is the in-memory record store and query engine. The zero value
-// is not usable; construct with NewServer or NewServerSharded.
+// Server is the record store and query engine. The zero value is not
+// usable; construct with NewServer, NewServerSharded, or
+// NewServerWithStore.
 type Server struct {
-	shards []shard // immutable slice; per-shard state under shard.mu
-	mask   uint64  // len(shards)-1; len(shards) is a power of two
-	s      int     // system-wide representative-bit count, needed by Eq. (21)
+	st store.Store
+	s  int // system-wide representative-bit count, needed by Eq. (21)
 
 	// cache memoizes estimator results keyed by location epochs. Set at
 	// construction (SetEstimateCache reconfigures it for tests and
@@ -73,36 +62,49 @@ type Server struct {
 	cache *core.EstCache
 }
 
-// NewServer creates an empty server configured with the system-wide
-// representative-bit parameter s (Section II-D) and DefaultShards lock
-// shards.
+// NewServer creates an empty resident server configured with the
+// system-wide representative-bit parameter s (Section II-D) and
+// DefaultShards lock shards.
 func NewServer(s int) (*Server, error) {
 	return NewServerSharded(s, DefaultShards)
 }
 
-// NewServerSharded creates an empty server with an explicit shard count,
-// which must be a power of two in [1, 1<<12]. More shards admit more
-// concurrent uploads at the cost of slower cross-shard iteration.
+// NewServerSharded creates an empty resident server with an explicit
+// shard count, which must be a power of two in [1, 1<<12]. More shards
+// admit more concurrent uploads at the cost of slower cross-shard
+// iteration.
 //
 //ptm:exclusive constructor: the Server is not shared until it returns
 func NewServerSharded(s, nShards int) (*Server, error) {
+	if nShards == 0 {
+		// store.NewMem treats 0 as "default"; this constructor's contract
+		// predates that and rejects it.
+		return nil, fmt.Errorf("central: shard count 0 is not a power of two in [1, 4096]")
+	}
+	st, err := store.NewMem(nShards)
+	if err != nil {
+		return nil, err
+	}
+	return NewServerWithStore(s, st)
+}
+
+// NewServerWithStore wraps an existing store — how centrald mounts the
+// tiered and read-only mmap stores. The server takes over the store's
+// lifecycle (CloseStore).
+//
+//ptm:exclusive constructor: the Server is not shared until it returns
+func NewServerWithStore(s int, st store.Store) (*Server, error) {
 	if s < vhash.MinS || s > vhash.MaxS {
 		return nil, fmt.Errorf("central: %w", vhash.ErrInvalidS)
 	}
-	if nShards < 1 || nShards > 1<<12 || bits.OnesCount(uint(nShards)) != 1 {
-		return nil, fmt.Errorf("central: shard count %d is not a power of two in [1, 4096]", nShards)
+	if st == nil {
+		return nil, errors.New("central: nil store")
 	}
-	srv := &Server{
-		shards: make([]shard, nShards),
-		mask:   uint64(nShards - 1),
-		s:      s,
-		cache:  core.NewEstCache(core.DefaultEstCacheEntries),
-	}
-	for i := range srv.shards {
-		srv.shards[i].byLoc = make(map[vhash.LocationID]map[record.PeriodID]*record.Record)
-		srv.shards[i].epoch = make(map[vhash.LocationID]uint64)
-	}
-	return srv, nil
+	return &Server{
+		st:    st,
+		s:     s,
+		cache: core.NewEstCache(core.DefaultEstCacheEntries),
+	}, nil
 }
 
 // SetEstimateCache replaces the server's estimate cache with one bounded
@@ -124,128 +126,73 @@ func (s *Server) EstCacheStats() core.EstCacheStats {
 // S returns the configured representative-bit count.
 func (s *Server) S() int { return s.s }
 
-// Shards returns the shard count.
-func (s *Server) Shards() int { return len(s.shards) }
+// Store returns the underlying record store (for stats surfaces that
+// need store-specific interfaces, e.g. the block-cache counters).
+func (s *Server) Store() store.Store { return s.st }
 
-// shardFor maps a location to its shard. Location IDs are operator
-// assigned and often sequential, so they are mixed through a Fibonacci
-// hash and the shard index taken from the high bits.
-func (s *Server) shardFor(loc vhash.LocationID) *shard {
-	h := uint64(loc) * 0x9e3779b97f4a7c15
-	return &s.shards[(h>>32)&s.mask]
+// Shards returns the resident tier's shard count (1 when the store does
+// not shard).
+func (s *Server) Shards() int {
+	if sh, ok := s.st.(interface{ Shards() int }); ok {
+		return sh.Shards()
+	}
+	return 1
 }
+
+// CloseStore releases the store's OS resources (mappings, files). The
+// server must not be used afterwards.
+func (s *Server) CloseStore() error { return s.st.Close() }
 
 // Ingest stores one uploaded record. Duplicate (location, period) pairs
 // are rejected: an RSU reports each period exactly once, so a duplicate
 // indicates a replay or a misconfigured deployment.
 func (s *Server) Ingest(rec *record.Record) error {
-	if rec == nil {
-		return record.ErrNilBitmap
-	}
-	if err := rec.Validate(); err != nil {
+	prior, err := s.st.Ingest(rec)
+	if err != nil {
 		return err
 	}
-	sh := s.shardFor(rec.Location)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	byPeriod, ok := sh.byLoc[rec.Location]
-	if !ok {
-		byPeriod = make(map[record.PeriodID]*record.Record)
-		sh.byLoc[rec.Location] = byPeriod
-	}
-	if _, dup := byPeriod[rec.Period]; dup {
-		return fmt.Errorf("%w: loc=%d period=%d", ErrDuplicate, rec.Location, rec.Period)
-	}
-	hadRecords := len(byPeriod) > 0
-	byPeriod[rec.Period] = rec
-	// Every accepted upload bumps the location's epoch, fencing off any
-	// cached estimates built from the previous record set (WAL replay and
-	// snapshot restore arrive through this same path). The bump happens
-	// under the shard lock, so a query that assembled its set before this
-	// record landed also read the pre-bump epoch — its cache entry stays
-	// keyed to the old state, never mistaken for the new one.
-	sh.epoch[rec.Location]++
-	if hadRecords {
+	if prior > 0 {
+		// The location already had records, so cached estimates for it may
+		// exist; the epoch bump inside the store just fenced them.
 		s.cache.NoteInvalidation()
 	}
 	return nil
 }
 
 // Locations returns all locations with stored records, sorted.
-func (s *Server) Locations() []vhash.LocationID {
-	var out []vhash.LocationID
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for loc := range sh.byLoc {
-			out = append(out, loc)
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (s *Server) Locations() []vhash.LocationID { return s.st.Locations() }
 
 // Periods returns the sorted periods stored for a location.
-func (s *Server) Periods(loc vhash.LocationID) []record.PeriodID {
-	sh := s.shardFor(loc)
-	sh.mu.RLock()
-	byPeriod := sh.byLoc[loc]
-	out := make([]record.PeriodID, 0, len(byPeriod))
-	for p := range byPeriod {
-		out = append(out, p)
-	}
-	sh.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (s *Server) Periods(loc vhash.LocationID) []record.PeriodID { return s.st.Periods(loc) }
 
 // get assembles the record set Π for (loc, periods) together with the
-// location's ingest epoch, read under the same lock hold as the records
-// — the (set, epoch) pair is mutually consistent by construction, which
-// is what makes the epoch a sound cache fence.
-func (s *Server) get(loc vhash.LocationID, periods []record.PeriodID) (*record.Set, uint64, error) {
+// location's ingest epoch; the store reads the pair atomically, which is
+// what makes the epoch a sound cache fence. The caller must call unpin
+// after its last use of the set — cold-tier records view mapped pages
+// that stay valid only while pinned.
+func (s *Server) get(loc vhash.LocationID, periods []record.PeriodID) (*record.Set, uint64, func(), error) {
 	if len(periods) == 0 {
-		return nil, 0, ErrNoPeriods
+		return nil, 0, nil, ErrNoPeriods
 	}
-	sh := s.shardFor(loc)
-	sh.mu.RLock()
-	byPeriod := sh.byLoc[loc]
-	epoch := sh.epoch[loc]
-	recs := make([]*record.Record, 0, len(periods))
-	for _, p := range periods {
-		rec, ok := byPeriod[p]
-		if !ok {
-			sh.mu.RUnlock()
-			return nil, 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, loc, p)
-		}
-		recs = append(recs, rec)
+	recs, epoch, unpin, err := s.st.Collect(loc, periods)
+	if err != nil {
+		return nil, 0, nil, err
 	}
-	sh.mu.RUnlock()
 	set, err := record.NewSet(recs)
 	if err != nil {
-		return nil, 0, err
+		unpin()
+		return nil, 0, nil, err
 	}
-	return set, epoch, nil
-}
-
-// lookup fetches one record under its shard's read lock. Records are
-// immutable once stored, so the returned pointer is safe to use after the
-// lock is released.
-func (s *Server) lookup(loc vhash.LocationID, p record.PeriodID) (*record.Record, bool) {
-	sh := s.shardFor(loc)
-	sh.mu.RLock()
-	rec, ok := sh.byLoc[loc][p]
-	sh.mu.RUnlock()
-	return rec, ok
+	return set, epoch, unpin, nil
 }
 
 // Volume estimates the plain traffic volume at loc in one period (Eq. 1).
 func (s *Server) Volume(loc vhash.LocationID, p record.PeriodID) (float64, error) {
-	rec, ok := s.lookup(loc, p)
+	rec, unpin, ok := s.st.Lookup(loc, p)
 	if !ok {
 		return 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, loc, p)
 	}
+	defer unpin()
 	return core.EstimateVolume(rec)
 }
 
@@ -254,10 +201,11 @@ func (s *Server) Volume(loc vhash.LocationID, p record.PeriodID) (float64, error
 // when the location has not ingested since they were computed; a hit is
 // bit-identical to the cold computation.
 func (s *Server) PointPersistent(loc vhash.LocationID, periods []record.PeriodID) (*core.PointResult, error) {
-	set, epoch, err := s.get(loc, periods)
+	set, epoch, unpin, err := s.get(loc, periods)
 	if err != nil {
 		return nil, err
 	}
+	defer unpin()
 	return s.cache.Point(epoch, set, core.SplitHalves)
 }
 
@@ -298,28 +246,32 @@ func (s *Server) PointPersistentSliding(loc vhash.LocationID, window int) ([]Win
 // PointToPointPersistent estimates the point-to-point persistent traffic
 // between locA and locB over the given periods (Eq. 21).
 func (s *Server) PointToPointPersistent(locA, locB vhash.LocationID, periods []record.PeriodID) (*core.PointToPointResult, error) {
-	setA, epochA, err := s.get(locA, periods)
+	setA, epochA, unpinA, err := s.get(locA, periods)
 	if err != nil {
 		return nil, err
 	}
-	setB, epochB, err := s.get(locB, periods)
+	defer unpinA()
+	setB, epochB, unpinB, err := s.get(locB, periods)
 	if err != nil {
 		return nil, err
 	}
+	defer unpinB()
 	return s.cache.PointToPoint(epochA, epochB, setA, setB, s.s)
 }
 
 // ODVolume estimates the single-period point-to-point volume between two
 // locations: the number of vehicles that passed both during period p.
 func (s *Server) ODVolume(locA, locB vhash.LocationID, p record.PeriodID) (float64, error) {
-	recA, okA := s.lookup(locA, p)
-	recB, okB := s.lookup(locB, p)
+	recA, unpinA, okA := s.st.Lookup(locA, p)
 	if !okA {
 		return 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, locA, p)
 	}
+	defer unpinA()
+	recB, unpinB, okB := s.st.Lookup(locB, p)
 	if !okB {
 		return 0, fmt.Errorf("%w: loc=%d period=%d", ErrNotFound, locB, p)
 	}
+	defer unpinB()
 	res, err := core.EstimateODVolume(recA, recB, s.s)
 	if err != nil {
 		return 0, err
@@ -336,55 +288,65 @@ const (
 
 // SaveTo writes a snapshot of all stored records. The records are sorted
 // by (location, period), so the snapshot bytes do not depend on shard
-// count or map iteration order.
+// count, tiering state, or map iteration order. Each record is encoded
+// into one reused scratch buffer and written out immediately — the
+// writer streams, it does not materialize the store (cold records are
+// pinned one at a time).
 func (s *Server) SaveTo(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], snapMagic)
-	hdr[4] = snapVersion
-
-	var recs []*record.Record
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for _, byPeriod := range sh.byLoc {
-			for _, rec := range byPeriod {
-				recs = append(recs, rec)
+	scratch := make([]byte, 0, 64<<10)
+	err := s.st.ForEachSorted(
+		func(count int) error {
+			var hdr [12]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], snapMagic)
+			hdr[4] = snapVersion
+			binary.LittleEndian.PutUint32(hdr[8:12], uint32(count))
+			if _, err := bw.Write(hdr[:]); err != nil {
+				return fmt.Errorf("central: writing snapshot header: %w", err)
 			}
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Location != recs[j].Location {
-			return recs[i].Location < recs[j].Location
-		}
-		return recs[i].Period < recs[j].Period
-	})
-
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(recs)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("central: writing snapshot header: %w", err)
-	}
-	for _, rec := range recs {
-		blob, err := rec.MarshalBinary()
-		if err != nil {
-			return err
-		}
-		var lenBuf [4]byte
-		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
-		if _, err := bw.Write(lenBuf[:]); err != nil {
-			return fmt.Errorf("central: writing record length: %w", err)
-		}
-		if _, err := bw.Write(blob); err != nil {
-			return fmt.Errorf("central: writing record: %w", err)
-		}
+			return nil
+		},
+		func(rec *record.Record) error {
+			// Reserve the 4-byte length prefix, append the record behind
+			// it, then patch the prefix — one buffered write per record,
+			// zero per-record allocations once scratch has grown.
+			scratch = append(scratch[:0], 0, 0, 0, 0)
+			blob, err := rec.AppendBinary(scratch)
+			if err != nil {
+				return err
+			}
+			scratch = blob
+			binary.LittleEndian.PutUint32(scratch[0:4], uint32(len(scratch)-4))
+			if _, err := bw.Write(scratch); err != nil {
+				return fmt.Errorf("central: writing record: %w", err)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// LoadFrom ingests every record from a snapshot produced by SaveTo.
+// LoadFrom restores records from a snapshot produced by SaveTo, or from
+// a cold checkpoint segment (the on-disk format store.Tiered freezes —
+// the first four bytes distinguish the two). Records already present are
+// skipped: restore is idempotent, which is what lets a tiered store
+// recover from a WAL checkpoint that includes its own frozen records.
 func (s *Server) LoadFrom(r io.Reader) error {
 	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return fmt.Errorf("central: reading snapshot header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(magic) == store.SegMagic {
+		return s.loadSegment(br)
+	}
+	return s.loadSnapshot(br)
+}
+
+// loadSnapshot reads the native SaveTo stream.
+func (s *Server) loadSnapshot(br *bufio.Reader) error {
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return fmt.Errorf("central: reading snapshot header: %w", err)
@@ -418,9 +380,25 @@ func (s *Server) LoadFrom(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("central: decoding record %d: %w", i, err)
 		}
-		if err := s.Ingest(rec); err != nil {
+		if err := s.Ingest(rec); err != nil && !errors.Is(err, ErrDuplicate) {
 			return fmt.Errorf("central: restoring record %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// loadSegment copy-ingests every record of a checkpoint segment: all
+// CRCs are verified and the bitmaps are heap copies, so the source
+// buffer is free once this returns.
+func (s *Server) loadSegment(br *bufio.Reader) error {
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return fmt.Errorf("central: reading segment: %w", err)
+	}
+	return store.ParseSegmentRecords(data, func(rec *record.Record) error {
+		if err := s.Ingest(rec); err != nil && !errors.Is(err, ErrDuplicate) {
+			return fmt.Errorf("central: restoring segment record loc=%d period=%d: %w", rec.Location, rec.Period, err)
+		}
+		return nil
+	})
 }

@@ -42,18 +42,29 @@ type Durable struct {
 	sinceCkpt int //ptm:guardedby mu (successful ingests since the last checkpoint)
 }
 
-// OpenDurable opens (or creates) the WAL directory, creates the store,
-// and recovers its contents: the newest checkpoint is loaded and newer
-// log segments are replayed. checkpointEvery > 0 compacts the log
+// OpenDurable opens (or creates) the WAL directory, creates a resident
+// store, and recovers its contents: the newest checkpoint is loaded and
+// newer log segments are replayed. checkpointEvery > 0 compacts the log
 // automatically after that many ingested records; pass 0 to checkpoint
 // only explicitly (e.g. on shutdown).
 func OpenDurable(dir string, s, shards int, opts wal.Options, checkpointEvery int) (*Durable, error) {
-	if checkpointEvery < 0 {
-		return nil, fmt.Errorf("central: negative checkpointEvery %d", checkpointEvery)
-	}
 	srv, err := NewServerSharded(s, shards)
 	if err != nil {
 		return nil, err
+	}
+	return OpenDurableServer(dir, srv, opts, checkpointEvery)
+}
+
+// OpenDurableServer wraps an existing server (for example one mounted
+// over a tiered store) with a WAL and recovers into it. Recovery is
+// idempotent against the server's current contents: records a tiered
+// store already holds cold in its segment directory are skipped when the
+// checkpoint or log replays them. Note that WAL checkpoints snapshot the
+// whole store, cold tier included — the segments are the cold tier's own
+// durability, the checkpoint is the log's compaction point.
+func OpenDurableServer(dir string, srv *Server, opts wal.Options, checkpointEvery int) (*Durable, error) {
+	if checkpointEvery < 0 {
+		return nil, fmt.Errorf("central: negative checkpointEvery %d", checkpointEvery)
 	}
 	log, err := wal.Open(dir, opts)
 	if err != nil {
@@ -95,10 +106,11 @@ func (d *Durable) Ingest(rec *record.Record) error {
 	}
 	// Cheap duplicate pre-check: replayed uploads are common (an RSU
 	// retries every un-acked record), and rejecting them before the
-	// append keeps them out of the log entirely. The racy window
+	// append keeps them out of the log entirely. Contains touches no
+	// cold-tier data — the index alone answers. The racy window
 	// between this check and the insert below only costs a redundant
 	// log entry, which replay tolerates.
-	if _, dup := d.lookup(rec.Location, rec.Period); dup {
+	if d.Server.st.Contains(rec.Location, rec.Period) {
 		return fmt.Errorf("%w: loc=%d period=%d", ErrDuplicate, rec.Location, rec.Period)
 	}
 	blob, err := rec.MarshalBinary()

@@ -348,7 +348,7 @@ func TestDurableTornTailPrefix(t *testing.T) {
 		if p != record.PeriodID(i+1) {
 			t.Fatalf("recovered periods %v are not a prefix", got)
 		}
-		if _, ok := recovered.lookup(3, p); !ok {
+		if !recovered.Server.st.Contains(3, p) {
 			t.Fatalf("period %d listed but not stored", p)
 		}
 	}

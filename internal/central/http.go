@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"ptm/internal/record"
+	"ptm/internal/store"
 	"ptm/internal/vhash"
 )
 
@@ -32,10 +33,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
 		cs := s.EstCacheStats()
-		writeJSON(w, map[string]any{
+		resp := map[string]any{
 			"locations":    st.Locations,
 			"records":      st.Records,
 			"payload_bits": st.Bits,
+			"hot_records":  st.HotRecords,
+			"cold_records": st.ColdRecords,
+			"segments":     st.Segments,
 			"s":            s.S(),
 			"estcache": map[string]any{
 				"hits":          cs.Hits,
@@ -44,7 +48,20 @@ func (s *Server) Handler() http.Handler {
 				"entries":       cs.Entries,
 				"capacity":      cs.Capacity,
 			},
-		})
+		}
+		if bc, ok := s.st.(store.CacheStatser); ok {
+			b := bc.CacheStats()
+			resp["blockcache"] = map[string]any{
+				"hits":           b.Hits,
+				"misses":         b.Misses,
+				"evictions":      b.Evictions,
+				"pinned_bytes":   b.PinnedBytes,
+				"cached_bytes":   b.CachedBytes,
+				"capacity_bytes": b.CapacityBytes,
+				"spans":          b.Spans,
+			}
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("GET /locations", func(w http.ResponseWriter, r *http.Request) {
 		type locInfo struct {

@@ -10,94 +10,60 @@ import (
 // Retention and observability for the record store. Records are small
 // (f × volume bits), but a city-scale deployment accumulates
 // locations × periods of them indefinitely; the authority prunes what its
-// analysis horizon no longer needs.
+// analysis horizon no longer needs. On a tiered store, retention also
+// releases disk: a cold segment whose records are all dropped is
+// unlinked and its cache spans invalidated.
 
 // DropBefore removes all records older than the cutoff period (exclusive)
-// at every location and reports how many were dropped. Shards are pruned
-// one at a time, so uploads racing the prune land before or after their
-// location's shard is visited, never mid-scan.
-func (s *Server) DropBefore(cutoff record.PeriodID) int {
-	dropped := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for loc, byPeriod := range sh.byLoc {
-			for p := range byPeriod {
-				if p < cutoff {
-					delete(byPeriod, p)
-					dropped++
-				}
-			}
-			if len(byPeriod) == 0 {
-				delete(sh.byLoc, loc)
-			}
-		}
-		sh.mu.Unlock()
-	}
-	return dropped
+// at every location and reports how many were dropped. The error is
+// non-nil only for cold-tier stores whose segment files could not be
+// deleted — the index entries are gone either way.
+func (s *Server) DropBefore(cutoff record.PeriodID) (int, error) {
+	return s.st.DropBefore(cutoff)
 }
 
 // RetainLatest keeps only the newest n periods at the given location and
 // reports how many records were dropped. n <= 0 drops everything at the
 // location.
-func (s *Server) RetainLatest(loc vhash.LocationID, n int) int {
-	periods := s.Periods(loc)
-	if len(periods) <= n {
-		return 0
-	}
-	var cut record.PeriodID
-	if n > 0 {
-		cut = periods[len(periods)-n]
-	} else {
-		cut = periods[len(periods)-1] + 1
-	}
-	sh := s.shardFor(loc)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	byPeriod := sh.byLoc[loc]
-	dropped := 0
-	for p := range byPeriod {
-		if p < cut {
-			delete(byPeriod, p)
-			dropped++
-		}
-	}
-	if len(byPeriod) == 0 {
-		delete(sh.byLoc, loc)
-	}
-	return dropped
+func (s *Server) RetainLatest(loc vhash.LocationID, n int) (int, error) {
+	return s.st.RetainLatest(loc, n)
 }
 
 // StoreStats summarizes the store's contents.
 type StoreStats struct {
 	Locations int
 	Records   int
-	// Bits is the total bitmap payload held, in bits.
+	// Bits is the total bitmap payload held, in bits, across tiers.
 	Bits int64
+	// HotRecords counts records resident in RAM; ColdRecords counts
+	// records served from on-disk segments (zero for resident stores).
+	HotRecords  int
+	ColdRecords int
+	// Segments is the number of live cold segment files.
+	Segments int
 }
 
-// Stats returns a snapshot of store-level counters. Each shard is
-// counted under its own lock; concurrent uploads may land between shard
-// visits, so the totals are per-shard consistent.
+// Stats returns a snapshot of store-level counters. Concurrent uploads
+// may land between internal lock holds, so the totals are
+// per-shard consistent.
 func (s *Server) Stats() StoreStats {
-	var st StoreStats
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		st.Locations += len(sh.byLoc)
-		for _, byPeriod := range sh.byLoc {
-			st.Records += len(byPeriod)
-			for _, rec := range byPeriod {
-				st.Bits += int64(rec.Size())
-			}
-		}
-		sh.mu.RUnlock()
+	st := s.st.Stats()
+	return StoreStats{
+		Locations:   st.Locations,
+		Records:     st.Records,
+		Bits:        st.Bits,
+		HotRecords:  st.HotRecords,
+		ColdRecords: st.ColdRecords,
+		Segments:    st.Segments,
 	}
-	return st
 }
 
 // String renders the stats compactly.
 func (st StoreStats) String() string {
-	return fmt.Sprintf("central{locations=%d records=%d payload=%.1fMiB}",
+	s := fmt.Sprintf("central{locations=%d records=%d payload=%.1fMiB",
 		st.Locations, st.Records, float64(st.Bits)/8/(1<<20))
+	if st.Segments > 0 {
+		s += fmt.Sprintf(" cold=%d segments=%d", st.ColdRecords, st.Segments)
+	}
+	return s + "}"
 }

@@ -24,7 +24,10 @@ func vhashLoc(i int) vhash.LocationID { return vhash.LocationID(i) } // keep cal
 func TestDropBefore(t *testing.T) {
 	s := newServer(t)
 	fill(t, s)
-	dropped := s.DropBefore(4)
+	dropped, err := s.DropBefore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dropped != 9 { // 3 locations x periods {1,2,3}
 		t.Errorf("dropped = %d, want 9", dropped)
 	}
@@ -35,8 +38,8 @@ func TestDropBefore(t *testing.T) {
 		}
 	}
 	// Dropping everything removes locations entirely.
-	if dropped := s.DropBefore(100); dropped != 6 {
-		t.Errorf("final drop = %d, want 6", dropped)
+	if dropped, err := s.DropBefore(100); err != nil || dropped != 6 {
+		t.Errorf("final drop = %d (%v), want 6", dropped, err)
 	}
 	if len(s.Locations()) != 0 {
 		t.Errorf("locations remain: %v", s.Locations())
@@ -46,8 +49,8 @@ func TestDropBefore(t *testing.T) {
 func TestRetainLatest(t *testing.T) {
 	s := newServer(t)
 	fill(t, s)
-	if dropped := s.RetainLatest(1, 2); dropped != 3 {
-		t.Errorf("dropped = %d, want 3", dropped)
+	if dropped, err := s.RetainLatest(1, 2); err != nil || dropped != 3 {
+		t.Errorf("dropped = %d (%v), want 3", dropped, err)
 	}
 	ps := s.Periods(1)
 	if len(ps) != 2 || ps[0] != 4 || ps[1] != 5 {
@@ -58,12 +61,12 @@ func TestRetainLatest(t *testing.T) {
 		t.Errorf("loc 2 disturbed: %v", s.Periods(2))
 	}
 	// Retaining more than present is a no-op.
-	if dropped := s.RetainLatest(2, 99); dropped != 0 {
-		t.Errorf("no-op dropped %d", dropped)
+	if dropped, err := s.RetainLatest(2, 99); err != nil || dropped != 0 {
+		t.Errorf("no-op dropped %d (%v)", dropped, err)
 	}
 	// n <= 0 clears the location.
-	if dropped := s.RetainLatest(3, 0); dropped != 5 {
-		t.Errorf("clear dropped %d, want 5", dropped)
+	if dropped, err := s.RetainLatest(3, 0); err != nil || dropped != 5 {
+		t.Errorf("clear dropped %d (%v), want 5", dropped, err)
 	}
 	for _, loc := range s.Locations() {
 		if loc == 3 {
@@ -71,8 +74,8 @@ func TestRetainLatest(t *testing.T) {
 		}
 	}
 	// Unknown location is a no-op.
-	if dropped := s.RetainLatest(99, 1); dropped != 0 {
-		t.Errorf("unknown loc dropped %d", dropped)
+	if dropped, err := s.RetainLatest(99, 1); err != nil || dropped != 0 {
+		t.Errorf("unknown loc dropped %d (%v)", dropped, err)
 	}
 }
 

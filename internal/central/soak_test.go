@@ -47,7 +47,11 @@ func TestSoakCityScale(t *testing.T) {
 	// Retention: keep only the newest 7 periods everywhere.
 	total := 0
 	for loc := 1; loc <= locations; loc++ {
-		total += s.RetainLatest(vhash.LocationID(loc), 7)
+		dropped, err := s.RetainLatest(vhash.LocationID(loc), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += dropped
 	}
 	if want := locations * (periods - 7); total != want {
 		t.Errorf("retention dropped %d, want %d", total, want)
@@ -57,7 +61,7 @@ func TestSoakCityScale(t *testing.T) {
 		t.Errorf("records after retention = %d", st.Records)
 	}
 	// Global cutoff wipes everything.
-	if dropped := s.DropBefore(periods + 1); dropped != locations*7 {
+	if dropped, err := s.DropBefore(periods + 1); err != nil || dropped != locations*7 {
 		t.Errorf("final drop = %d", dropped)
 	}
 	if st := s.Stats(); st.Locations != 0 || st.Records != 0 {

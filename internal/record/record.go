@@ -80,21 +80,33 @@ const (
 //
 //ptm:sink record serialization
 func (r *Record) MarshalBinary() ([]byte, error) {
+	return r.AppendBinary(nil)
+}
+
+// AppendBinary appends the MarshalBinary encoding to dst and returns the
+// extended slice, reusing dst's capacity. The snapshot writer streams
+// every record through one scratch buffer this way, so serializing a
+// store costs O(1) allocations instead of one per record.
+//
+//ptm:sink record serialization
+func (r *Record) AppendBinary(dst []byte) ([]byte, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
-	blob, err := r.Bitmap.MarshalBinary()
+	base := len(dst)
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], recMagic)
+	hdr[4] = recVersion
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(r.Location))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(r.Period))
+	dst = append(dst, hdr[:]...)
+	dst, err := r.Bitmap.AppendBinary(dst)
 	if err != nil {
 		return nil, fmt.Errorf("record: marshaling bitmap: %w", err)
 	}
-	out := make([]byte, recHeader+len(blob))
-	binary.LittleEndian.PutUint32(out[0:4], recMagic)
-	out[4] = recVersion
-	binary.LittleEndian.PutUint64(out[8:16], uint64(r.Location))
-	binary.LittleEndian.PutUint32(out[16:20], uint32(r.Period))
-	binary.LittleEndian.PutUint32(out[20:24], uint32(len(blob)))
-	copy(out[recHeader:], blob)
-	return out, nil
+	blen := len(dst) - base - recHeader
+	binary.LittleEndian.PutUint32(dst[base+20:base+24], uint32(blen))
+	return dst, nil
 }
 
 // Unmarshal parses a record serialized by MarshalBinary.

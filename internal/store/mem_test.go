@@ -1,0 +1,53 @@
+package store
+
+import (
+	"testing"
+
+	"ptm/internal/vhash"
+)
+
+// TestMemShardDistribution: sequential location IDs (the common operator
+// numbering) must spread across shards, not pile onto a few.
+func TestMemShardDistribution(t *testing.T) {
+	m, err := NewMem(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[*memShard]int)
+	const locs = 1600
+	for loc := 1; loc <= locs; loc++ {
+		counts[m.shardFor(vhash.LocationID(loc))]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("sequential locations hit %d/16 shards", len(counts))
+	}
+	for sh, n := range counts {
+		// Perfectly uniform would be 100 per shard; allow 3x skew.
+		if n > 300 {
+			t.Errorf("shard %p holds %d of %d locations", sh, n, locs)
+		}
+	}
+}
+
+// TestMemShardCountValidation mirrors the constructor contract.
+func TestMemShardCountValidation(t *testing.T) {
+	for _, n := range []int{-1, 3, 12, 1 << 13} {
+		if _, err := NewMem(n); err == nil {
+			t.Errorf("shard count %d accepted", n)
+		}
+	}
+	for _, n := range []int{0, 1, 2, 16, 1 << 12} {
+		m, err := NewMem(n)
+		if err != nil {
+			t.Errorf("shard count %d rejected: %v", n, err)
+			continue
+		}
+		want := n
+		if want == 0 {
+			want = DefaultShards
+		}
+		if m.Shards() != want {
+			t.Errorf("Shards() = %d, want %d", m.Shards(), want)
+		}
+	}
+}

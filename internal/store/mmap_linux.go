@@ -1,0 +1,60 @@
+//go:build linux
+
+package store
+
+// mmap-backed segment access. Segments are mapped PROT_READ/MAP_SHARED:
+// the kernel page cache backs every page, the process's resident set
+// only grows for pages a join actually streams, and a span the block
+// cache evicts is handed back with madvise(MADV_DONTNEED) — clean
+// file-backed pages, so a later access simply refaults from the file.
+// Nothing here ever writes through the mapping; records are sealed.
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only.
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", f.Name(), err)
+	}
+	return &mapping{data: data, mmapped: true}, nil
+}
+
+// close unmaps the file.
+func (m *mapping) close() error {
+	if !m.mmapped || m.data == nil {
+		m.data = nil
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if err := syscall.Munmap(data); err != nil {
+		return fmt.Errorf("store: munmap: %w", err)
+	}
+	return nil
+}
+
+// release advises the kernel to drop the whole pages inside
+// [off, off+n): a pure RSS/page-cache hint. Partial pages at the edges
+// stay resident (they may be shared with a neighboring span), and the
+// data remains valid — MADV_DONTNEED on a shared file mapping discards
+// clean page-cache copies, never file contents.
+func (m *mapping) release(off, n int) error {
+	if !m.mmapped {
+		return nil
+	}
+	page := os.Getpagesize()
+	start := (off + page - 1) &^ (page - 1)
+	end := (off + n) &^ (page - 1)
+	if end <= start {
+		return nil
+	}
+	if err := syscall.Madvise(m.data[start:end], syscall.MADV_DONTNEED); err != nil {
+		return fmt.Errorf("store: madvise: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+//go:build !linux
+
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Fallback for platforms without the mmap path: the segment is read
+// into a word-aligned heap buffer. Every Store behavior is identical —
+// the differential tests run unchanged — the process just pays resident
+// memory for the whole segment, so "out-of-core" degrades to "in-core".
+
+// mapFile reads size bytes of f into an aligned buffer. The backing is
+// allocated as []uint64 so wordsView's zero-copy cast stays legal on
+// little-endian hosts.
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	words := make([]uint64, (size+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("store: reading segment %s: %w", f.Name(), err)
+	}
+	return &mapping{data: buf, backing: words}, nil
+}
+
+// close releases the buffer.
+func (m *mapping) close() error {
+	m.data = nil
+	m.backing = nil
+	return nil
+}
+
+// release is a no-op: heap pages cannot be given back piecemeal.
+func (m *mapping) release(off, n int) error { return nil }

@@ -92,7 +92,9 @@ func BenchmarkUploadSingle(b *testing.B) {
 			}
 		}
 		b.StopTimer()
-		store.DropBefore(^record.PeriodID(0))
+		if _, err := store.DropBefore(^record.PeriodID(0)); err != nil {
+			b.Fatal(err)
+		}
 		b.StartTimer()
 	}
 }
@@ -108,7 +110,9 @@ func BenchmarkUploadBatched(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StopTimer()
-		store.DropBefore(^record.PeriodID(0))
+		if _, err := store.DropBefore(^record.PeriodID(0)); err != nil {
+			b.Fatal(err)
+		}
 		b.StartTimer()
 	}
 }
@@ -137,7 +141,9 @@ func BenchmarkUploadPipelined(b *testing.B) {
 		}
 		wg.Wait()
 		b.StopTimer()
-		store.DropBefore(^record.PeriodID(0))
+		if _, err := store.DropBefore(^record.PeriodID(0)); err != nil {
+			b.Fatal(err)
+		}
 		b.StartTimer()
 	}
 }

@@ -34,30 +34,8 @@ func (l *Log) Checkpoint(write func(w io.Writer) error) error {
 		return err
 	}
 
-	final := l.ckptPath(sealed)
-	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
-	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	err = write(bw)
-	if err == nil {
-		err = bw.Flush()
-	}
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("wal: closing checkpoint temp: %w", cerr)
-	}
-	if err != nil {
-		//ptmlint:allow errdrop -- best-effort cleanup of a temp file already being abandoned on error
-		_ = os.Remove(tmp)
+	if err := WriteFileAtomic(l.ckptPath(sealed), write); err != nil {
 		return fmt.Errorf("wal: writing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("wal: committing checkpoint: %w", err)
 	}
 	if err := syncDir(l.dir); err != nil {
 		return err
@@ -75,6 +53,46 @@ func (l *Log) Checkpoint(write func(w io.Writer) error) error {
 	}
 	return nil
 }
+
+// WriteFileAtomic streams write's output to path+".tmp", fsyncs it, and
+// atomically renames it into place: a reader (or a recovery scan) sees
+// either the previous file or the complete new one, never a torn write.
+// It is the commit primitive of checkpoint compaction, reused by the
+// out-of-core store's segment freezer (internal/store) — the tiering
+// freeze point inherits exactly the checkpoint's crash-safety argument.
+// Callers that need the rename itself durable must also SyncDir the
+// parent directory.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating temp file: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: closing temp file: %w", cerr)
+	}
+	if err != nil {
+		//ptmlint:allow errdrop -- best-effort cleanup of a temp file already being abandoned on error
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: committing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so renames and creates within it are
+// durable — the second half of the WriteFileAtomic commit protocol.
+func SyncDir(dir string) error { return syncDir(dir) }
 
 // LatestCheckpoint opens the newest checkpoint for reading and returns
 // it with the index of the newest segment it covers. The caller closes

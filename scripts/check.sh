@@ -17,11 +17,15 @@
 #   7. go test -race       (unit + integration tests under the race
 #                          detector, -shuffle=on to surface order
 #                          dependence between tests)
-#   8. race stress smoke   (the WAL, RSU, and estimate-cache concurrency
-#                          stress tests again under -race -count=2 — the
-#                          dynamic complement of the static concguard
-#                          contracts)
+#   8. race stress smoke   (the WAL, RSU, estimate-cache, and tiered-store
+#                          concurrency stress tests again under -race
+#                          -count=2 — the dynamic complement of the static
+#                          concguard contracts)
 #   9. fuzz smoke          (a few seconds per fuzz target, seeds + mutation)
+#  10. crash smoke         (kill -9 a WAL-backed centrald mid-stream)
+#  11. out-of-core smoke   (tiered centrald over a 10x-budget dataset:
+#                          peak-RSS bound + estimates identical to the
+#                          all-resident daemon)
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target fuzzing budget for the smoke stage (default 5s)
@@ -85,6 +89,7 @@ step "race stress smoke (-race -count=2, WAL group commit + RSU ingest + estimat
 go test -race -count=2 -run '^TestGroupCommitConcurrentAppends$' ./internal/wal/
 go test -race -count=2 -run '^(TestConcurrentReportStorm|TestReportsRaceRotation|TestDifferentialAtomicVsSequential)$' ./internal/rsu/
 go test -race -count=2 -run '^TestEstCacheConcurrentQueryIngest$' ./internal/central/
+go test -race -count=2 -run '^TestTieredConcurrentSoak$' ./internal/store/
 
 # Archive the committed benchmark baselines (regenerate with `make
 # bench-json` / `make bench-ingest`) next to the lint report so CI
@@ -107,8 +112,12 @@ go test -run=NONE -fuzz='^FuzzReadFrame$' -fuzztime="$FUZZTIME" ./internal/trans
 go test -run=NONE -fuzz='^FuzzUploadBatch$' -fuzztime="$FUZZTIME" ./internal/transport/
 go test -run=NONE -fuzz='^FuzzReplay$' -fuzztime="$FUZZTIME" ./internal/wal/
 go test -run=NONE -fuzz='^FuzzSnapshotLoad$' -fuzztime="$FUZZTIME" ./internal/central/
+go test -run=NONE -fuzz='^FuzzSegmentLoad$' -fuzztime="$FUZZTIME" ./internal/store/
 
 step "crash-recovery smoke (WAL-backed centrald, kill -9 mid-stream)"
 scripts/crashsmoke.sh
+
+step "out-of-core smoke (tiered centrald, 10x-budget dataset, RSS bound + estimate equality)"
+scripts/oocsmoke.sh
 
 step "all checks passed"

@@ -1,0 +1,143 @@
+#!/bin/sh
+# oocsmoke.sh — end-to-end out-of-core smoke for the tiered record store
+# (run standalone or via scripts/check.sh).
+#
+# The scenario, mirroring DESIGN.md §14:
+#   1. Two centralds start: one all-resident (-store mem), one tiered
+#      with a resident budget a small fraction of the dataset
+#      (-store tiered -resident-budget), its block cache capped via
+#      PTM_BLOCKCACHE_BYTES and its heap fenced with GOMEMLIMIT.
+#   2. trafficgen streams the identical seeded two-location workload at
+#      both daemons; the tiered one must freeze segments mid-stream.
+#   3. Every estimator surface (volume, point, p2p) is queried on both
+#      daemons and diffed — the tiers must be invisible in the answers.
+#   4. /stats must show a dataset >= 10x the resident budget, frozen
+#      segments, cold records, and block-cache traffic.
+#   5. The tiered daemon's peak RSS (VmHWM from /proc, the measurement
+#      ulimit -v cannot provide for a Go runtime that reserves address
+#      space up front) must stay under budget + cache + runtime slack.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/ptm-oocsmoke.XXXXXX")"
+MPID=""
+TPID=""
+cleanup() {
+	[ -n "$MPID" ] && kill "$MPID" 2>/dev/null || true
+	[ -n "$TPID" ] && kill "$TPID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+say() { printf 'oocsmoke: %s\n' "$*"; }
+
+say "building binaries"
+go build -o "$TMP/centrald" ./cmd/centrald
+go build -o "$TMP/ptmquery" ./cmd/ptmquery
+go build -o "$TMP/trafficgen" ./cmd/trafficgen
+
+BUDGET=$((512 << 10))    # 512 KiB resident budget
+CACHE=$((2 << 20))       # 2 MiB block cache
+RSS_CEILING_KB=$((96 << 10)) # budget + cache + Go runtime slack, in KiB
+
+PORT=$((18400 + $$ % 2000))
+ADDR_MEM="127.0.0.1:$PORT"
+ADDR_TIER="127.0.0.1:$((PORT + 1))"
+HTTP_TIER="127.0.0.1:$((PORT + 2))"
+COLD="$TMP/cold"
+
+wait_up() {
+	i=0
+	while ! "$TMP/ptmquery" -central "$1" locations >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			say "centrald on $1 did not come up (logs follow)"
+			cat "$TMP"/centrald-*.log
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+say "starting resident centrald on $ADDR_MEM"
+"$TMP/centrald" -listen "$ADDR_MEM" 2>>"$TMP/centrald-mem.log" &
+MPID=$!
+
+say "starting tiered centrald on $ADDR_TIER (budget $BUDGET, cache $CACHE, cold $COLD)"
+GOMEMLIMIT=48MiB PTM_BLOCKCACHE_BYTES=$CACHE \
+	"$TMP/centrald" -listen "$ADDR_TIER" -http "$HTTP_TIER" \
+	-store tiered -cold "$COLD" -resident-budget 512K \
+	2>>"$TMP/centrald-tier.log" &
+TPID=$!
+
+wait_up "$ADDR_MEM"
+wait_up "$ADDR_TIER"
+
+# The identical seeded workload into both daemons: 12 periods of ~1M
+# vehicles at two locations, 20k of them persistent through every
+# period. Eq. (2) sizes each bitmap from its volume, so the payload is
+# ~6 MiB against the 512 KiB budget.
+PERIODS=12
+gen() {
+	"$TMP/trafficgen" -central "$1" -locA 1 -locB 2 -periods "$PERIODS" \
+		-common 20000 -vol-min 950000 -vol-max 1000000 -seed 7 >/dev/null
+}
+say "streaming seeded workload into the resident daemon"
+gen "$ADDR_MEM"
+say "streaming the same workload into the tiered daemon"
+gen "$ADDR_TIER"
+
+PLIST="$(seq -s, 1 $PERIODS)"
+say "diffing estimates (volume, point, p2p) across the tier boundary"
+query_all() {
+	"$TMP/ptmquery" -central "$1" volume -loc 1 -period 1
+	"$TMP/ptmquery" -central "$1" volume -loc 2 -period "$PERIODS"
+	"$TMP/ptmquery" -central "$1" point -loc 1 -periods "$PLIST"
+	"$TMP/ptmquery" -central "$1" point -loc 2 -periods "$PLIST"
+	"$TMP/ptmquery" -central "$1" p2p -loc 1 -loc2 2 -periods "$PLIST"
+}
+query_all "$ADDR_MEM" >"$TMP/est.mem"
+query_all "$ADDR_TIER" >"$TMP/est.tier"
+if ! diff -u "$TMP/est.mem" "$TMP/est.tier"; then
+	say "estimates diverge across the tier boundary"
+	exit 1
+fi
+
+say "checking /stats: 10x dataset, frozen segments, cache traffic"
+STATS="$(curl -sf "http://$HTTP_TIER/stats" 2>/dev/null || wget -qO- "http://$HTTP_TIER/stats")"
+json_field() {
+	printf '%s\n' "$STATS" | tr -d ' \n' | sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p"
+}
+payload_bits="$(json_field payload_bits)"
+segments="$(json_field segments)"
+cold_records="$(json_field cold_records)"
+if [ -z "$payload_bits" ] || [ "$payload_bits" -lt $((BUDGET * 8 * 10)) ]; then
+	say "dataset too small to prove anything: payload_bits=$payload_bits (want >= $((BUDGET * 8 * 10)))"
+	exit 1
+fi
+if [ -z "$segments" ] || [ "$segments" -lt 1 ] || [ -z "$cold_records" ] || [ "$cold_records" -lt 1 ]; then
+	say "tiered daemon never froze: segments=$segments cold_records=$cold_records"
+	printf '%s\n' "$STATS"
+	exit 1
+fi
+seg_count="$(ls "$COLD"/*.seg 2>/dev/null | wc -l)"
+if [ "$seg_count" -lt 1 ]; then
+	say "no .seg files under $COLD"
+	exit 1
+fi
+
+say "checking peak RSS of the tiered daemon (VmHWM <= ${RSS_CEILING_KB} KiB)"
+vmhwm_kb="$(awk '/^VmHWM:/ {print $2}' "/proc/$TPID/status")"
+if [ -z "$vmhwm_kb" ] || [ "$vmhwm_kb" -gt "$RSS_CEILING_KB" ]; then
+	say "tiered daemon peak RSS $vmhwm_kb KiB exceeds ceiling $RSS_CEILING_KB KiB"
+	exit 1
+fi
+
+kill "$MPID" "$TPID" 2>/dev/null || true
+wait "$MPID" 2>/dev/null || true
+wait "$TPID" 2>/dev/null || true
+MPID=""
+TPID=""
+
+say "ok: $((payload_bits / 8 / 1024)) KiB dataset over a $((BUDGET / 1024)) KiB budget, $segments segment(s), $cold_records cold record(s), peak RSS $vmhwm_kb KiB, estimates identical"
