@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-fast check bench bench-json bench-ingest bench-wal bench-kernel bench-ooc
+.PHONY: build test lint lint-fast check bench bench-json bench-ingest bench-wal bench-kernel bench-ooc bench-cluster
 
 build:
 	$(GO) build ./...
@@ -97,3 +97,19 @@ bench-ooc:
 		-bench='BenchmarkOOCJoin' \
 		-benchmem ./internal/store/ \
 		| $(GO) run ./cmd/benchjson > $(OOC_BENCH_OUT)
+
+# bench-cluster records the cluster-plane baseline as BENCH_pr10.json:
+# routed upload-to-ack throughput for single-node vs replicated rings,
+# the shipper's per-round cost of pushing sealed WAL segments to R-1
+# followers, and point-to-point queries on the colocated (server-side
+# fused join) vs cross-partition (router fetch-and-join) paths. Every
+# row carries nodes=/replicas= params via cmd/benchjson so the
+# replication tax is a structured diff, not a name convention. Override
+# CLUSTER_BENCH_OUT for A/B runs.
+CLUSTER_BENCH_OUT ?= BENCH_pr10.json
+
+bench-cluster:
+	$(GO) test -run=NONE \
+		-bench='BenchmarkCluster(Upload|Ship|QueryP2P)' \
+		-benchmem ./internal/cluster/router/ \
+		| $(GO) run ./cmd/benchjson > $(CLUSTER_BENCH_OUT)

@@ -30,7 +30,9 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -38,11 +40,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"ptm/internal/central"
+	"ptm/internal/cluster"
 	"ptm/internal/store"
 	"ptm/internal/transport"
 	"ptm/internal/wal"
@@ -71,6 +76,10 @@ type config struct {
 	storeKind string // mem|tiered|mmap; "" means mem
 	coldDir   string
 	budget    string // resident-budget byte size; "" means unlimited
+	// clusterNode, when non-empty, runs this process as the named member
+	// of a cluster (requires -wal); shipInterval paces replication.
+	clusterNode  string
+	shipInterval time.Duration
 	// ready and httpReady, if non-nil, receive the bound addresses once
 	// serving — used by tests to synchronize.
 	ready     chan<- string
@@ -91,6 +100,8 @@ func parseFlags(args []string) config {
 	fs.StringVar(&cfg.storeKind, "store", "mem", "record store: mem, tiered, or mmap")
 	fs.StringVar(&cfg.coldDir, "cold", "", "segment directory for -store=tiered/mmap")
 	fs.StringVar(&cfg.budget, "resident-budget", "", "hot-tier payload bound for -store=tiered, e.g. 64M (empty: unlimited)")
+	fs.StringVar(&cfg.clusterNode, "cluster-node", "", "cluster member ID: serve as this node of a cluster (requires -wal; ring arrives via ptmcluster)")
+	fs.DurationVar(&cfg.shipInterval, "ship-interval", 500*time.Millisecond, "replication shipper period for -cluster-node")
 	//ptmlint:allow errdrop -- flag.ExitOnError exits the process on a parse failure
 	_ = fs.Parse(args)
 	return cfg
@@ -253,6 +264,29 @@ func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
 		logger.Printf("restored %d locations from %s", len(head.Locations()), cfg.load)
 	}
 
+	var node *cluster.Node
+	if cfg.clusterNode != "" {
+		if durable == nil {
+			return errors.New("-cluster-node requires -wal: replication ships WAL segments")
+		}
+		node, err = cluster.NewNode(durable, cluster.Config{
+			ID:           cfg.clusterNode,
+			RingPath:     filepath.Join(cfg.walDir, "ring.json"),
+			ShipInterval: cfg.shipInterval,
+			Logger:       logger,
+		})
+		if err != nil {
+			return err
+		}
+		tstore = node
+		if r := node.Ring(); r != nil {
+			logger.Printf("cluster node %s: ring epoch %d, %d members, R=%d",
+				cfg.clusterNode, r.Epoch, len(r.Members), r.Replicas)
+		} else {
+			logger.Printf("cluster node %s: no ring yet (push one with ptmcluster)", cfg.clusterNode)
+		}
+	}
+
 	srv, err := transport.NewServer(tstore, logger)
 	if err != nil {
 		return err
@@ -268,7 +302,30 @@ func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
 		if err != nil {
 			return fmt.Errorf("http listen: %w", err)
 		}
-		httpSrv := &http.Server{Handler: head.Handler()}
+		handler := head.Handler()
+		if node != nil {
+			// The cluster surface rides alongside the store admin pages:
+			// /cluster serves the node status (ring epoch, per-peer
+			// replication lag, applied watermarks), and the same snapshot
+			// is published through expvar at /debug/vars. expvar.Publish
+			// lives here in main — never in the cluster package — because
+			// the process-global registry panics on duplicate names, which
+			// in-process multi-node tests would trip.
+			expvar.Publish("ptm_cluster", expvar.Func(func() any { return node.StatusSnapshot() }))
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(node.StatusSnapshot()); err != nil {
+					logger.Printf("encoding /cluster: %v", err)
+				}
+			})
+			mux.Handle("GET /debug/vars", expvar.Handler())
+			handler = mux
+		}
+		httpSrv := &http.Server{Handler: handler}
 		//ptmlint:allow goroutinehygiene -- lifecycle is bounded by the deferred httpSrv.Close below
 		go func() {
 			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -304,6 +361,12 @@ func serve(cfg config, logger *log.Logger, sigc <-chan os.Signal) error {
 		}
 	}
 
+	if node != nil {
+		// Stop the shipper before the WAL shuts down under it.
+		if err := node.Close(); err != nil {
+			logger.Printf("closing cluster node: %v", err)
+		}
+	}
 	if durable != nil {
 		// Graceful shutdown: flush whatever the sync policy left
 		// buffered, then checkpoint so the next boot loads one snapshot

@@ -16,7 +16,9 @@
 // that delta is the table in EXPERIMENTS.md §WAL. With -central ADDR the
 // records go to an external centrald instead of an in-process server,
 // which is how the crash-recovery smoke (scripts/crashsmoke.sh) drives a
-// real daemon it can kill.
+// real daemon it can kill. With -cluster ADDR[,ADDR...] the records are
+// routed to a centrald cluster's partition leaders instead, which is how
+// the cluster smoke (scripts/clustersmoke.sh) measures replicated ingest.
 package main
 
 import (
@@ -25,11 +27,13 @@ import (
 	"io"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"ptm/internal/central"
 	"ptm/internal/cli"
+	"ptm/internal/cluster/router"
 	"ptm/internal/dsrc"
 	"ptm/internal/pki"
 	"ptm/internal/record"
@@ -38,6 +42,16 @@ import (
 	"ptm/internal/vhash"
 	"ptm/internal/wal"
 )
+
+// uploadClient is the surface the bench needs; a direct transport.Client
+// and the cluster router both provide it.
+type uploadClient interface {
+	Upload(*record.Record) error
+	UploadBatch([]*record.Record) (int, error)
+	ListLocations() ([]vhash.LocationID, error)
+	ListPeriods(vhash.LocationID) ([]record.PeriodID, error)
+	Close() error
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -58,6 +72,7 @@ func run(args []string, out io.Writer) error {
 		f       = fs.Float64("f", 2.0, "bitmap load factor (Eq. 2)")
 		s       = fs.Int("s", 3, "representative bits per vehicle")
 		cAddr   = fs.String("central", "", "external central server address (default: in-process server)")
+		cSeeds  = fs.String("cluster", "", "comma-separated cluster seed addresses (uploads routed by partition)")
 		walDir  = fs.String("wal", "", "WAL directory for the in-process store (default: memory only)")
 		syncPol = fs.String("sync", "always", "WAL sync policy for -wal: always, interval, never")
 	)
@@ -89,12 +104,19 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	// Central stack: an external daemon (-central), or an in-process
-	// server on TCP loopback, optionally WAL-backed (-wal).
+	// Central stack: a cluster (-cluster), an external daemon (-central),
+	// or an in-process server on TCP loopback, optionally WAL-backed (-wal).
 	var store *central.Server
 	var durable *central.Durable
 	addr := *cAddr
-	if addr == "" {
+	if *cSeeds != "" {
+		if addr != "" {
+			return fmt.Errorf("-cluster and -central are mutually exclusive")
+		}
+		if *walDir != "" {
+			return fmt.Errorf("-wal configures the in-process store; it cannot apply to a -cluster deployment")
+		}
+	} else if addr == "" {
 		var tstore transport.Store
 		if *walDir != "" {
 			policy, err := wal.ParseSyncPolicy(*syncPol)
@@ -139,7 +161,12 @@ func run(args []string, out io.Writer) error {
 	} else if *walDir != "" {
 		return fmt.Errorf("-wal configures the in-process store; it cannot apply to an external -central server")
 	}
-	client, err := transport.Dial(addr, 5*time.Second)
+	var client uploadClient
+	if *cSeeds != "" {
+		client, err = router.Dial(strings.Split(*cSeeds, ","), 5*time.Second)
+	} else {
+		client, err = transport.Dial(addr, 5*time.Second)
+	}
 	if err != nil {
 		return err
 	}
@@ -239,7 +266,7 @@ func run(args []string, out io.Writer) error {
 		pr.Printf("central store: %d locations, %d records, %d shards\n",
 			st.Locations, st.Records, store.Shards())
 	} else {
-		// External daemon: census over the wire.
+		// External daemon or cluster: census over the wire.
 		locs, err := client.ListLocations()
 		if err != nil {
 			return fmt.Errorf("listing locations: %w", err)
@@ -252,7 +279,11 @@ func run(args []string, out io.Writer) error {
 			}
 			n += len(ps)
 		}
-		pr.Printf("central store (remote %s): %d locations, %d records\n", *cAddr, len(locs), n)
+		remote := *cAddr
+		if *cSeeds != "" {
+			remote = "cluster " + *cSeeds
+		}
+		pr.Printf("central store (remote %s): %d locations, %d records\n", remote, len(locs), n)
 	}
 	if durable != nil {
 		lst := durable.LogStats()

@@ -1,0 +1,573 @@
+// Command ptmcluster administers a centrald cluster: it bootstraps the
+// consistent-hash ring, walks members through their lifecycle
+// (join -> promote, drain -> remove, failover -> revive), and reports
+// replication status. All state lives in the versioned ring pushed to
+// the nodes themselves — there is no coordinator process.
+//
+//	ptmcluster init -replicas 2 -node a=127.0.0.1:7701 -node b=127.0.0.1:7702 -node c=127.0.0.1:7703
+//	ptmcluster status -seed 127.0.0.1:7701
+//	ptmcluster ring -seed 127.0.0.1:7701
+//	ptmcluster locate -seed 127.0.0.1:7701 -loc 42
+//	ptmcluster join -seed 127.0.0.1:7701 -id d -addr 127.0.0.1:7704
+//	ptmcluster wait -seed 127.0.0.1:7701
+//	ptmcluster promote -seed 127.0.0.1:7701 -id d
+//	ptmcluster drain -seed 127.0.0.1:7701 -id a
+//	ptmcluster remove -seed 127.0.0.1:7701 -id a
+//	ptmcluster failover -seed 127.0.0.1:7701 -down b
+//	ptmcluster revive -seed 127.0.0.1:7701 -id b
+//
+// Every mutating verb fetches the current ring from -seed, applies one
+// change, bumps the epoch, and pushes the result to every member
+// (best-effort: a push that reaches at least one node succeeds, and the
+// nodes gossip nothing — re-run the verb or `ptmcluster status` to see
+// who adopted it). `wait` polls until every owning replica of every
+// location reports the same record census, which is how scripts know a
+// join or drain has finished re-shipping before they promote or remove.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ptm/internal/cli"
+	"ptm/internal/cluster"
+	"ptm/internal/record"
+	"ptm/internal/transport"
+	"ptm/internal/vhash"
+)
+
+const dialTimeout = 5 * time.Second
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ptmcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: ptmcluster init|ring|status|locate|join|promote|drain|remove|failover|revive|wait [flags]")
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	out := cli.NewPrinter(w)
+	verb, rest := args[0], args[1:]
+	var err error
+	switch verb {
+	case "init":
+		err = cmdInit(rest, out)
+	case "ring":
+		err = cmdRing(rest, out)
+	case "status":
+		err = cmdStatus(rest, out)
+	case "locate":
+		err = cmdLocate(rest, out)
+	case "join", "promote", "drain", "remove", "revive":
+		err = cmdMemberState(verb, rest, out)
+	case "failover":
+		err = cmdFailover(rest, out)
+	case "wait":
+		err = cmdWait(rest, out)
+	default:
+		return usage()
+	}
+	if err != nil {
+		return err
+	}
+	return out.Err()
+}
+
+// nodeFlags collects repeated -node id=addr arguments.
+type nodeFlags []cluster.Member
+
+func (n *nodeFlags) String() string {
+	parts := make([]string, len(*n))
+	for i, m := range *n {
+		parts[i] = m.ID + "=" + m.Addr
+	}
+	return strings.Join(parts, ",")
+}
+
+func (n *nodeFlags) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok || id == "" || addr == "" {
+		return fmt.Errorf("want id=addr, got %q", v)
+	}
+	*n = append(*n, cluster.Member{ID: id, Addr: addr, State: cluster.StateUp})
+	return nil
+}
+
+func cmdInit(args []string, out *cli.Printer) error {
+	fs := flag.NewFlagSet("ptmcluster init", flag.ContinueOnError)
+	replicas := fs.Int("replicas", 2, "replicas per location (R)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "ring positions per member")
+	var nodes nodeFlags
+	fs.Var(&nodes, "node", "member as id=addr (repeat per node)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("init needs at least one -node id=addr")
+	}
+	r := &cluster.Ring{Epoch: 1, Replicas: *replicas, VNodes: *vnodes, Members: nodes}
+	r.SortMembers()
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	return pushRing(r, out)
+}
+
+func cmdRing(args []string, out *cli.Printer) error {
+	fs := flag.NewFlagSet("ptmcluster ring", flag.ContinueOnError)
+	seed := fs.String("seed", "127.0.0.1:7701", "any cluster node address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := fetchRing(*seed)
+	if err != nil {
+		return err
+	}
+	enc, err := cluster.EncodeRing(r)
+	if err != nil {
+		return err
+	}
+	out.Printf("%s\n", enc)
+	return nil
+}
+
+func cmdStatus(args []string, out *cli.Printer) error {
+	fs := flag.NewFlagSet("ptmcluster status", flag.ContinueOnError)
+	seed := fs.String("seed", "127.0.0.1:7701", "any cluster node address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := fetchRing(*seed)
+	if err != nil {
+		return err
+	}
+	out.Printf("ring epoch %d: %d members, R=%d, %d vnodes/member\n",
+		r.Epoch, len(r.Members), r.Replicas, r.VNodes)
+	for _, m := range r.Members {
+		if m.State == cluster.StateLeft {
+			out.Printf("  %-8s %-21s left\n", m.ID, "-")
+			continue
+		}
+		st, err := fetchStatus(m.Addr)
+		if err != nil {
+			out.Printf("  %-8s %-21s %-8s unreachable: %v\n", m.ID, m.Addr, m.State, err)
+			continue
+		}
+		out.Printf("  %-8s %-21s %-8s epoch=%d locs=%d wal=[%d,%d]\n",
+			m.ID, m.Addr, st.State, st.RingEpoch, st.Locations, st.WALFirst, st.WALActive)
+		for _, id := range sortedKeys(st.Peers) {
+			ps := st.Peers[id]
+			line := fmt.Sprintf("shipped=%d lag=%d records=%d fullsyncs=%d",
+				ps.Shipped, ps.Lag, ps.Records, ps.FullSyncs)
+			if ps.LastErr != "" {
+				line += " err=" + ps.LastErr
+			}
+			out.Printf("    -> %-8s %s\n", id, line)
+		}
+		for _, id := range sortedKeys(st.Applied) {
+			out.Printf("    <- %-8s applied=%d\n", id, st.Applied[id])
+		}
+	}
+	if len(r.Promoted) > 0 {
+		for _, down := range sortedKeys(r.Promoted) {
+			out.Printf("  failover: %s -> %s\n", down, r.Promoted[down])
+		}
+	}
+	return nil
+}
+
+func cmdLocate(args []string, out *cli.Printer) error {
+	fs := flag.NewFlagSet("ptmcluster locate", flag.ContinueOnError)
+	seed := fs.String("seed", "127.0.0.1:7701", "any cluster node address")
+	loc := fs.Uint64("loc", 0, "location ID to locate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := fetchRing(*seed)
+	if err != nil {
+		return err
+	}
+	l := vhash.LocationID(*loc)
+	set := r.ReplicaSet(l)
+	ids := make([]string, len(set))
+	for i, m := range set {
+		ids[i] = fmt.Sprintf("%s(%s)", m.ID, m.State)
+	}
+	out.Printf("location %d: replicas [%s]\n", l, strings.Join(ids, " "))
+	leader, err := r.Leader(l)
+	if err != nil {
+		out.Printf("location %d: no leader: %v\n", l, err)
+		return nil
+	}
+	out.Printf("location %d: leader %s@%s\n", l, leader.ID, leader.Addr)
+	return nil
+}
+
+// cmdMemberState implements the single-member lifecycle verbs. Each is
+// one legal state edge; anything else is refused so an operator typo
+// cannot teleport a member across its lifecycle.
+func cmdMemberState(verb string, args []string, out *cli.Printer) error {
+	fs := flag.NewFlagSet("ptmcluster "+verb, flag.ContinueOnError)
+	seed := fs.String("seed", "127.0.0.1:7701", "any cluster node address")
+	id := fs.String("id", "", "member ID")
+	addr := fs.String("addr", "", "new member address (join only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("%s needs -id", verb)
+	}
+	r, err := fetchRing(*seed)
+	if err != nil {
+		return err
+	}
+	r = r.Clone()
+	m, ok := r.Member(*id)
+	switch verb {
+	case "join":
+		if *addr == "" {
+			return fmt.Errorf("join needs -addr")
+		}
+		if ok && m.State != cluster.StateLeft {
+			return fmt.Errorf("member %q already in the ring (state %s)", *id, m.State)
+		}
+		if ok {
+			// Rejoining tombstone: reuse the slot.
+			setState(r, *id, cluster.StateJoining, *addr)
+		} else {
+			r.Members = append(r.Members, cluster.Member{ID: *id, Addr: *addr, State: cluster.StateJoining})
+			r.SortMembers()
+		}
+	case "promote":
+		if !ok {
+			return fmt.Errorf("no member %q", *id)
+		}
+		if m.State != cluster.StateJoining {
+			return fmt.Errorf("promote: member %q is %s, want joining (use revive for down members)", *id, m.State)
+		}
+		setState(r, *id, cluster.StateUp, "")
+	case "drain":
+		if !ok {
+			return fmt.Errorf("no member %q", *id)
+		}
+		if m.State != cluster.StateUp {
+			return fmt.Errorf("drain: member %q is %s, want up", *id, m.State)
+		}
+		setState(r, *id, cluster.StateDraining, "")
+	case "remove":
+		if !ok {
+			return fmt.Errorf("no member %q", *id)
+		}
+		if m.State != cluster.StateDraining {
+			return fmt.Errorf("remove: member %q is %s, want draining (drain first so its records re-ship)", *id, m.State)
+		}
+		setState(r, *id, cluster.StateLeft, "")
+		delete(r.Promoted, *id)
+	case "revive":
+		if !ok {
+			return fmt.Errorf("no member %q", *id)
+		}
+		if m.State != cluster.StateDown {
+			return fmt.Errorf("revive: member %q is %s, want down", *id, m.State)
+		}
+		setState(r, *id, cluster.StateUp, "")
+		delete(r.Promoted, *id)
+	}
+	r.Epoch++
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	out.Printf("%s %s: ", verb, *id)
+	return pushRing(r, out)
+}
+
+func cmdFailover(args []string, out *cli.Printer) error {
+	fs := flag.NewFlagSet("ptmcluster failover", flag.ContinueOnError)
+	seed := fs.String("seed", "127.0.0.1:7701", "any cluster node address")
+	down := fs.String("down", "", "ID of the failed member")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *down == "" {
+		return fmt.Errorf("failover needs -down")
+	}
+	r, err := fetchRing(*seed)
+	if err != nil {
+		return err
+	}
+	r = r.Clone()
+	m, ok := r.Member(*down)
+	if !ok {
+		return fmt.Errorf("no member %q", *down)
+	}
+	if m.State != cluster.StateUp && m.State != cluster.StateDown {
+		return fmt.Errorf("failover: member %q is %s, want up or down", *down, m.State)
+	}
+	setState(r, *down, cluster.StateDown, "")
+
+	// Promote the most-caught-up survivor: the Up member that has
+	// applied the furthest of the dead node's WAL segments. Survivors
+	// that never heard from it count as applied=0; ties break to the
+	// smallest ID so repeated runs are deterministic.
+	best, bestApplied, surveyed := "", uint64(0), 0
+	for _, s := range r.Members {
+		if s.ID == *down || s.State != cluster.StateUp {
+			continue
+		}
+		st, err := fetchStatus(s.Addr)
+		if err != nil {
+			out.Printf("warning: survivor %s@%s unreachable: %v\n", s.ID, s.Addr, err)
+			continue
+		}
+		surveyed++
+		applied := st.Applied[*down]
+		if best == "" || applied > bestApplied {
+			best, bestApplied = s.ID, applied
+		}
+	}
+	if surveyed == 0 {
+		return fmt.Errorf("failover: no reachable up survivor to promote")
+	}
+	if r.Promoted == nil {
+		r.Promoted = make(map[string]string)
+	}
+	r.Promoted[*down] = best
+	r.Epoch++
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	out.Printf("failover %s: promoting %s (applied through %s's segment %d, %d survivors surveyed)\n",
+		*down, best, *down, bestApplied, surveyed)
+	return pushRing(r, out)
+}
+
+func cmdWait(args []string, out *cli.Printer) error {
+	fs := flag.NewFlagSet("ptmcluster wait", flag.ContinueOnError)
+	seed := fs.String("seed", "127.0.0.1:7701", "any cluster node address")
+	timeout := fs.Duration("timeout", 60*time.Second, "give up after this long")
+	interval := fs.Duration("interval", 250*time.Millisecond, "poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(*timeout)
+	clean, lastDetail := 0, ""
+	for {
+		ok, detail, err := converged(*seed)
+		if err != nil {
+			ok, detail = false, err.Error()
+		}
+		if ok {
+			// Two consecutive clean polls: the first can race an
+			// in-flight shipper round that is about to add records.
+			if clean++; clean >= 2 {
+				out.Printf("converged: every owning replica reports an identical census\n")
+				return nil
+			}
+		} else {
+			clean, lastDetail = 0, detail
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wait: not converged after %v: %s", *timeout, lastDetail)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// converged reports whether every location's owning replicas (joining or
+// up members of its replica set) hold exactly the union of all records
+// observed anywhere in the cluster for that location.
+func converged(seed string) (bool, string, error) {
+	r, err := fetchRing(seed)
+	if err != nil {
+		return false, "", err
+	}
+	type census map[vhash.LocationID]map[record.PeriodID]bool
+	censuses := make(map[string]census)
+	for _, m := range r.Members {
+		switch m.State {
+		case cluster.StateDown, cluster.StateLeft:
+			continue
+		}
+		c, err := memberCensus(m.Addr)
+		if err != nil {
+			return false, "", fmt.Errorf("census of %s@%s: %w", m.ID, m.Addr, err)
+		}
+		censuses[m.ID] = c
+	}
+	union := make(census)
+	for _, c := range censuses {
+		for loc, ps := range c {
+			if union[loc] == nil {
+				union[loc] = make(map[record.PeriodID]bool)
+			}
+			for p := range ps {
+				union[loc][p] = true
+			}
+		}
+	}
+	for loc, want := range union {
+		for _, m := range r.ReplicaSet(loc) {
+			if m.State != cluster.StateJoining && m.State != cluster.StateUp {
+				continue
+			}
+			have := censuses[m.ID][loc]
+			if len(have) != len(want) {
+				return false, fmt.Sprintf("loc %d: %s holds %d/%d periods", loc, m.ID, len(have), len(want)), nil
+			}
+			for p := range want {
+				if !have[p] {
+					return false, fmt.Sprintf("loc %d: %s missing period %d", loc, m.ID, p), nil
+				}
+			}
+		}
+	}
+	return true, "", nil
+}
+
+func memberCensus(addr string) (map[vhash.LocationID]map[record.PeriodID]bool, error) {
+	c, err := transport.Dial(addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//ptmlint:allow errdrop -- read-only poll connection
+		_ = c.Close()
+	}()
+	locs, err := c.ListLocations()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[vhash.LocationID]map[record.PeriodID]bool, len(locs))
+	for _, loc := range locs {
+		ps, err := c.ListPeriods(loc)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[record.PeriodID]bool, len(ps))
+		for _, p := range ps {
+			set[p] = true
+		}
+		out[loc] = set
+	}
+	return out, nil
+}
+
+// setState rewrites one member in place; addr != "" also updates the
+// address (rejoin after a host move).
+func setState(r *cluster.Ring, id string, st cluster.State, addr string) {
+	for i := range r.Members {
+		if r.Members[i].ID == id {
+			r.Members[i].State = st
+			if addr != "" {
+				r.Members[i].Addr = addr
+			}
+			return
+		}
+	}
+}
+
+func fetchRing(addr string) (*cluster.Ring, error) {
+	c, err := transport.Dial(addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dialing seed %s: %w", addr, err)
+	}
+	defer func() {
+		//ptmlint:allow errdrop -- read-only admin connection
+		_ = c.Close()
+	}()
+	resp, err := c.Call(transport.MsgRingGet, nil, transport.MsgRing)
+	if err != nil {
+		return nil, fmt.Errorf("fetching ring from %s: %w", addr, err)
+	}
+	b, err := cluster.DecodeResponse(resp)
+	if err != nil {
+		return nil, fmt.Errorf("fetching ring from %s: %w", addr, err)
+	}
+	return cluster.DecodeRing(b)
+}
+
+func fetchStatus(addr string) (cluster.Status, error) {
+	c, err := transport.Dial(addr, dialTimeout)
+	if err != nil {
+		return cluster.Status{}, err
+	}
+	defer func() {
+		//ptmlint:allow errdrop -- read-only admin connection
+		_ = c.Close()
+	}()
+	resp, err := c.Call(transport.MsgStatus, nil, transport.MsgStatusResp)
+	if err != nil {
+		return cluster.Status{}, err
+	}
+	b, err := cluster.DecodeResponse(resp)
+	if err != nil {
+		return cluster.Status{}, err
+	}
+	return cluster.DecodeStatus(b)
+}
+
+// pushRing delivers a ring to every non-left member, best-effort. At
+// least one node must accept: the epoch then exists in the cluster and
+// replication/retries spread the records (though not the ring itself —
+// unreachable members are reported so the operator can re-push).
+func pushRing(r *cluster.Ring, out *cli.Printer) error {
+	enc, err := cluster.EncodeRing(r)
+	if err != nil {
+		return err
+	}
+	pushed, total := 0, 0
+	for _, m := range r.Members {
+		if m.State == cluster.StateLeft || m.Addr == "" {
+			continue
+		}
+		total++
+		if err := pushOne(m.Addr, enc); err != nil {
+			out.Printf("warning: ring push to %s@%s failed: %v\n", m.ID, m.Addr, err)
+			continue
+		}
+		pushed++
+	}
+	if pushed == 0 {
+		return fmt.Errorf("ring epoch %d reached no node", r.Epoch)
+	}
+	out.Printf("ring epoch %d pushed to %d/%d members\n", r.Epoch, pushed, total)
+	return nil
+}
+
+func pushOne(addr string, enc []byte) error {
+	c, err := transport.Dial(addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//ptmlint:allow errdrop -- one-shot admin connection
+		_ = c.Close()
+	}()
+	resp, err := c.Call(transport.MsgRingSet, enc, transport.MsgRing)
+	if err != nil {
+		return err
+	}
+	_, err = cluster.DecodeResponse(resp)
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

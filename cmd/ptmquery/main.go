@@ -9,6 +9,11 @@
 // point and p2p report persistent traffic volumes (the number of vehicles
 // present in EVERY listed period); volume reports one period's plain
 // volume.
+//
+// With -cluster addr[,addr...] the same verbs run against a centrald
+// cluster: queries are routed to partition replicas, and point-to-point
+// estimates spanning two partitions are joined client-side. The output
+// is bit-identical to a single-node deployment holding the same records.
 package main
 
 import (
@@ -19,10 +24,22 @@ import (
 	"strings"
 	"time"
 
+	"ptm/internal/cluster/router"
 	"ptm/internal/record"
 	"ptm/internal/transport"
 	"ptm/internal/vhash"
 )
+
+// queryClient is the surface both transport.Client and router.Router
+// provide; the verbs below are agnostic to which one serves them.
+type queryClient interface {
+	ListLocations() ([]vhash.LocationID, error)
+	ListPeriods(vhash.LocationID) ([]record.PeriodID, error)
+	QueryVolume(vhash.LocationID, record.PeriodID) (float64, error)
+	QueryPointPersistent(vhash.LocationID, []record.PeriodID) (float64, error)
+	QueryPointToPointPersistent(vhash.LocationID, vhash.LocationID, []record.PeriodID) (float64, error)
+	Close() error
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -38,6 +55,7 @@ func usage() error {
 func run(args []string) error {
 	global := flag.NewFlagSet("ptmquery", flag.ContinueOnError)
 	centralAddr := global.String("central", "127.0.0.1:7700", "central server address")
+	clusterSeeds := global.String("cluster", "", "comma-separated cluster seed addresses (overrides -central)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -56,7 +74,13 @@ func run(args []string) error {
 		return err
 	}
 
-	client, err := transport.Dial(*centralAddr, 5*time.Second)
+	var client queryClient
+	var err error
+	if *clusterSeeds != "" {
+		client, err = router.Dial(strings.Split(*clusterSeeds, ","), 5*time.Second)
+	} else {
+		client, err = transport.Dial(*centralAddr, 5*time.Second)
+	}
 	if err != nil {
 		return err
 	}

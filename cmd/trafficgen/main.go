@@ -5,7 +5,10 @@
 //	trafficgen -central 127.0.0.1:7700 -locA 1 -locB 2 -periods 5 -common 800 -query
 //
 // Alternatively -out DIR writes the records to per-period files instead of
-// uploading, for offline processing.
+// uploading, for offline processing. With -cluster addr[,addr...] the
+// uploads and queries go through the partition-aware cluster router, and
+// -pace D sleeps D between record uploads — a deliberately slow drip that
+// gives the cluster smoke test a window to kill a node mid-ingest.
 package main
 
 import (
@@ -14,14 +17,25 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"ptm/internal/cli"
+	"ptm/internal/cluster/router"
 	"ptm/internal/record"
 	"ptm/internal/synth"
 	"ptm/internal/transport"
 	"ptm/internal/vhash"
 )
+
+// uploadClient is the surface the generator needs; a direct
+// transport.Client and the cluster router both provide it.
+type uploadClient interface {
+	Upload(*record.Record) error
+	QueryPointPersistent(vhash.LocationID, []record.PeriodID) (float64, error)
+	QueryPointToPointPersistent(vhash.LocationID, vhash.LocationID, []record.PeriodID) (float64, error)
+	Close() error
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -34,6 +48,8 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("trafficgen", flag.ContinueOnError)
 	var (
 		centralAddr = fs.String("central", "", "central server address (empty with -out writes files only)")
+		cSeeds      = fs.String("cluster", "", "comma-separated cluster seed addresses (overrides -central)")
+		pace        = fs.Duration("pace", 0, "sleep between record uploads (lets a smoke test kill a node mid-ingest)")
 		outDir      = fs.String("out", "", "directory to write record files instead of uploading")
 		locA        = fs.Uint64("locA", 1, "first location ID")
 		locB        = fs.Uint64("locB", 2, "second location ID")
@@ -50,8 +66,8 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	out := cli.NewPrinter(w)
-	if *centralAddr == "" && *outDir == "" {
-		return fmt.Errorf("need -central and/or -out")
+	if *centralAddr == "" && *cSeeds == "" && *outDir == "" {
+		return fmt.Errorf("need -central, -cluster, and/or -out")
 	}
 
 	g, err := synth.NewGenerator(*seed, *s)
@@ -105,8 +121,13 @@ func run(args []string, w io.Writer) error {
 		out.Printf("wrote %d records to %s\n", len(recs), *outDir)
 	}
 
-	if *centralAddr != "" {
-		client, err := transport.Dial(*centralAddr, 5*time.Second)
+	if *centralAddr != "" || *cSeeds != "" {
+		var client uploadClient
+		if *cSeeds != "" {
+			client, err = router.Dial(strings.Split(*cSeeds, ","), 5*time.Second)
+		} else {
+			client, err = transport.Dial(*centralAddr, 5*time.Second)
+		}
 		if err != nil {
 			return err
 		}
@@ -114,6 +135,9 @@ func run(args []string, w io.Writer) error {
 		for _, rec := range recs {
 			if err := client.Upload(rec); err != nil {
 				return fmt.Errorf("uploading loc=%d period=%d: %w", rec.Location, rec.Period, err)
+			}
+			if *pace > 0 {
+				time.Sleep(*pace)
 			}
 		}
 		out.Printf("uploaded %d records (locA=%d locB=%d, %d periods, true common=%d)\n",

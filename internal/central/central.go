@@ -165,6 +165,33 @@ func (s *Server) Locations() []vhash.LocationID { return s.st.Locations() }
 // Periods returns the sorted periods stored for a location.
 func (s *Server) Periods(loc vhash.LocationID) []record.PeriodID { return s.st.Periods(loc) }
 
+// RecordBlobs returns the marshaled form of every record stored at loc,
+// sorted by period. Cold-tier records are pinned only for the duration
+// of the marshal — the returned blobs are heap copies, safe to hold and
+// send. The cluster subsystem uses this for record-fetch frames and for
+// full-state resync when a follower's WAL watermark predates checkpoint
+// compaction.
+func (s *Server) RecordBlobs(loc vhash.LocationID) ([][]byte, error) {
+	periods := s.st.Periods(loc)
+	if len(periods) == 0 {
+		return nil, fmt.Errorf("%w: loc=%d", ErrNotFound, loc)
+	}
+	recs, _, unpin, err := s.st.Collect(loc, periods)
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
+	blobs := make([][]byte, len(recs))
+	for i, rec := range recs {
+		blob, err := rec.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = blob
+	}
+	return blobs, nil
+}
+
 // get assembles the record set Π for (loc, periods) together with the
 // location's ingest epoch; the store reads the pair atomically, which is
 // what makes the epoch a sound cache fence. The caller must call unpin

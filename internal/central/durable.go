@@ -157,6 +157,11 @@ func (d *Durable) Sync() error { return d.log.Sync() }
 // LogStats exposes the underlying WAL counters.
 func (d *Durable) LogStats() wal.Stats { return d.log.Stats() }
 
+// Log exposes the underlying write-ahead log. The cluster replication
+// shipper uses it to Seal a stable prefix and replay sealed segments to
+// followers; callers must not Close it (Close the Durable instead).
+func (d *Durable) Log() *wal.Log { return d.log }
+
 // Close flushes and closes the log. The in-memory store remains
 // queryable but further Ingest calls fail.
 func (d *Durable) Close() error { return d.log.Close() }

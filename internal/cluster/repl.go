@@ -1,0 +1,379 @@
+package cluster
+
+// The replication shipper. Every ShipInterval the node seals its WAL's
+// stable prefix and, for each reachable peer, ships the records that
+// peer needs:
+//
+//   - push-down: the leader of a partition ships to every other member
+//     of the partition's replica set (Up followers and Joining members
+//     catching up);
+//   - push-up: a non-leader holding a partition's records (after a
+//     failover, a drain, or a rebalance) ships them to the current
+//     leader.
+//
+// Every record therefore reaches its full replica set in at most two
+// hops, and since records are immutable and deduplicated by
+// (location, period), redelivery along any path is harmless — the
+// receiver's durable Ingest drops duplicates before they touch its WAL,
+// so there is no echo amplification between mutually-shipping nodes.
+//
+// Progress is tracked with a per-peer watermark {epoch, shipped}: the
+// peer has been sent everything it needs from WAL segments <= shipped,
+// valid for ring epoch. A ring change or a checkpoint that compacted
+// segments past the watermark invalidates it, and the shipper falls
+// back to a full-state resync (all live records the peer needs, straight
+// from the store). Acked batches advance the watermark; failed rounds
+// leave it alone and retry next round, at worst re-sending records the
+// peer deduplicates.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ptm/internal/central"
+	"ptm/internal/record"
+	"ptm/internal/transport"
+	"ptm/internal/vhash"
+)
+
+const (
+	// maxShipBatch bounds records per replication frame.
+	maxShipBatch = 512
+	// maxShipBytes bounds a replication frame's payload (well under
+	// transport.MaxFrameSize, leaving room for headers).
+	maxShipBytes = 4 << 20
+)
+
+// shipLoop runs replication rounds until Close.
+func (n *Node) shipLoop() {
+	t := time.NewTicker(n.cfg.ShipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-t.C:
+			if err := n.ShipNow(); err != nil {
+				n.cfg.Logger.Printf("cluster: node %s ship round: %v", n.cfg.ID, err)
+			}
+		}
+	}
+}
+
+// ShipNow runs one replication round against every shippable peer and
+// returns the first per-peer error (the round still visits every peer).
+// Exported so tests and the smoke harness can drive replication
+// deterministically instead of sleeping through ShipInterval.
+func (n *Node) ShipNow() error {
+	n.mu.Lock()
+	r := n.ring
+	n.mu.Unlock()
+	if r == nil {
+		return nil // standalone: nothing to ship
+	}
+	sealed, err := n.Log().Seal()
+	if err != nil {
+		return fmt.Errorf("cluster: sealing WAL: %w", err)
+	}
+	var first error
+	for _, m := range r.Members {
+		if m.ID == n.cfg.ID {
+			continue
+		}
+		switch m.State {
+		case StateUp, StateJoining:
+			// reachable replication targets
+		default:
+			// Down is unreachable, Draining owns nothing and is being
+			// emptied by its own shipper, Left is gone.
+			continue
+		}
+		if err := n.shipPeer(r, m, sealed); err != nil && first == nil {
+			first = fmt.Errorf("cluster: shipping to %s: %w", m.ID, err)
+		}
+	}
+	n.prunePeers(r)
+	return first
+}
+
+// shipPeer ships one peer's round, retrying once through Redial when
+// the failure is a transport error (dead connection from a peer restart
+// — exactly the sticky-poison case Redial exists for).
+func (n *Node) shipPeer(r *Ring, m Member, sealed uint64) error {
+	c, err := n.peerClient(m)
+	if err != nil {
+		n.mu.Lock()
+		ws := n.waterLocked(m.ID)
+		ws.lastErr = err.Error()
+		if sealed > ws.shipped {
+			ws.lag = sealed - ws.shipped
+		}
+		n.mu.Unlock()
+		return err
+	}
+	sent, full, err := n.shipOnce(c, r, m, sealed)
+	if err != nil && !transport.IsRemote(err) {
+		if rerr := c.Redial(); rerr == nil {
+			var sent2 int64
+			sent2, full, err = n.shipOnce(c, r, m, sealed)
+			sent += sent2
+		}
+	}
+	n.mu.Lock()
+	ws := n.waterLocked(m.ID)
+	ws.records += sent
+	if err != nil {
+		ws.lastErr = err.Error()
+		if sealed > ws.shipped {
+			ws.lag = sealed - ws.shipped
+		}
+		n.mu.Unlock()
+		return err
+	}
+	if full {
+		ws.fullSyncs++
+	}
+	ws.epoch = r.Epoch
+	ws.shipped = sealed
+	ws.lag = 0
+	ws.lastErr = ""
+	n.mu.Unlock()
+	return nil
+}
+
+// shipOnce performs one shipping attempt: full resync when the
+// watermark is invalid, incremental WAL shipping otherwise (falling
+// back to full if a checkpoint compacts the range mid-replay). Returns
+// records sent and whether a full resync ran.
+func (n *Node) shipOnce(c *transport.Client, r *Ring, m Member, sealed uint64) (sent int64, full bool, err error) {
+	n.mu.Lock()
+	ws := n.waterLocked(m.ID)
+	epoch, shipped := ws.epoch, ws.shipped
+	n.mu.Unlock()
+
+	filter := &shipFilter{n: n, r: r, peer: m.ID, memo: make(map[vhash.LocationID]bool)}
+	logFirst, _ := n.Log().Segments()
+	if epoch != r.Epoch || shipped+1 < logFirst {
+		sent, err = n.fullResync(c, r, filter, sealed)
+		return sent, true, err
+	}
+	if shipped >= sealed {
+		return 0, false, nil // peer is current
+	}
+	sent, err = n.shipSegments(c, r, filter, shipped+1, sealed)
+	if err != nil {
+		return sent, false, err
+	}
+	// A checkpoint may have dropped segments from under the replay; the
+	// replay silently skips missing files, so re-check the range and
+	// fall back to a full resync if it was compacted away.
+	if f2, _ := n.Log().Segments(); f2 > shipped+1 {
+		var sent2 int64
+		sent2, err = n.fullResync(c, r, filter, sealed)
+		return sent + sent2, true, err
+	}
+	return sent, false, nil
+}
+
+// fullResync ships every live record the peer needs, straight from the
+// store (covers first contact, ring changes, and compaction races).
+func (n *Node) fullResync(c *transport.Client, r *Ring, filter *shipFilter, sealed uint64) (int64, error) {
+	var sent int64
+	for _, loc := range n.Locations() {
+		if !filter.ship(loc) {
+			continue
+		}
+		blobs, err := n.RecordBlobs(loc)
+		if err != nil {
+			if errors.Is(err, central.ErrNotFound) {
+				continue // raced retention; nothing to ship
+			}
+			return sent, err
+		}
+		s, err := n.sendBlobs(c, r, blobs, sealed)
+		sent += s
+		if err != nil {
+			return sent, err
+		}
+	}
+	return sent, nil
+}
+
+// shipSegments replays sealed WAL segments [from, to] and ships the
+// entries whose location the peer needs, in bounded batches.
+func (n *Node) shipSegments(c *transport.Client, r *Ring, filter *shipFilter, from, to uint64) (int64, error) {
+	var (
+		pending      [][]byte
+		pendingBytes int
+		sent         int64
+	)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		s, err := n.sendBatch(c, r, pending, to)
+		sent += s
+		pending, pendingBytes = pending[:0], 0
+		return err
+	}
+	err := n.Log().ReplaySegments(from, to, func(payload []byte) error {
+		rec, err := record.Unmarshal(payload)
+		if err != nil {
+			return fmt.Errorf("cluster: undecodable WAL entry: %w", err)
+		}
+		if !filter.ship(rec.Location) {
+			return nil
+		}
+		// scanEntries allocates each payload fresh; retaining it is safe.
+		pending = append(pending, payload)
+		pendingBytes += len(payload)
+		if len(pending) >= maxShipBatch || pendingBytes >= maxShipBytes {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return sent, err
+	}
+	return sent, flush()
+}
+
+// sendBlobs ships pre-marshaled record blobs in bounded batches.
+func (n *Node) sendBlobs(c *transport.Client, r *Ring, blobs [][]byte, through uint64) (int64, error) {
+	var sent int64
+	for len(blobs) > 0 {
+		cut, bytes := 0, 0
+		for cut < len(blobs) && cut < maxShipBatch && bytes < maxShipBytes {
+			bytes += len(blobs[cut])
+			cut++
+		}
+		s, err := n.sendBatch(c, r, blobs[:cut], through)
+		sent += s
+		if err != nil {
+			return sent, err
+		}
+		blobs = blobs[cut:]
+	}
+	return sent, nil
+}
+
+// sendBatch frames and sends one replication batch and checks the ack.
+func (n *Node) sendBatch(c *transport.Client, r *Ring, blobs [][]byte, through uint64) (int64, error) {
+	batch, err := transport.EncodeRecordBlobs(blobs)
+	if err != nil {
+		return 0, err
+	}
+	payload, err := encodeReplBatch(replHeader{From: n.cfg.ID, Epoch: r.Epoch, Through: through}, batch)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Call(transport.MsgReplBatch, payload, transport.MsgReplAck)
+	if err != nil {
+		return 0, err
+	}
+	ack, err := decodeReplAck(resp)
+	if err != nil {
+		return 0, err
+	}
+	if !ack.OK {
+		return int64(ack.Applied + ack.Dups), fmt.Errorf("cluster: peer rejected batch: %s", ack.Err)
+	}
+	return int64(len(blobs)), nil
+}
+
+// shipFilter memoizes the per-location ship decision for one (ring,
+// peer) pair — the replica walk is O(members·vnodes) and WAL replay
+// would otherwise repeat it per record.
+type shipFilter struct {
+	n    *Node
+	r    *Ring
+	peer string
+	memo map[vhash.LocationID]bool
+}
+
+func (f *shipFilter) ship(loc vhash.LocationID) bool {
+	if v, ok := f.memo[loc]; ok {
+		return v
+	}
+	v := f.n.shouldShip(f.r, loc, f.peer)
+	f.memo[loc] = v
+	return v
+}
+
+// shouldShip decides whether this node ships loc's records to peer
+// under ring r: the leader pushes down to the rest of the replica set;
+// a non-leader holding the partition pushes up to the leader. A
+// leaderless partition (down, unpromoted primary) ships nowhere until
+// failover resolves it — its records stay safe in local WALs.
+func (n *Node) shouldShip(r *Ring, loc vhash.LocationID, peer string) bool {
+	leader, err := r.Leader(loc)
+	if err != nil {
+		return false
+	}
+	if leader.ID == n.cfg.ID {
+		for _, m := range r.ReplicaSet(loc) {
+			if m.ID == peer {
+				return true
+			}
+		}
+		return false
+	}
+	return peer == leader.ID
+}
+
+// waterLocked returns the peer's watermark entry, creating it if
+// needed. Callers hold n.mu.
+func (n *Node) waterLocked(id string) *peerState {
+	ws := n.water[id]
+	if ws == nil {
+		ws = &peerState{}
+		n.water[id] = ws
+	}
+	return ws
+}
+
+// peerConnLocked-free client lookup: dial outside the lock, resolve the
+// insert race by discarding the duplicate.
+func (n *Node) peerClient(m Member) (*transport.Client, error) {
+	n.mu.Lock()
+	pc := n.peers[m.ID]
+	n.mu.Unlock()
+	if pc != nil {
+		return pc, nil
+	}
+	c, err := transport.Dial(m.Addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if existing := n.peers[m.ID]; existing != nil {
+		n.mu.Unlock()
+		//ptmlint:allow errdrop -- lost the insert race; the duplicate dial is discarded
+		_ = c.Close()
+		return existing, nil
+	}
+	n.peers[m.ID] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+// prunePeers drops clients and watermarks for members that left the
+// ring (the ring keeps Left tombstones, so lookups stay meaningful).
+func (n *Node) prunePeers(r *Ring) {
+	n.mu.Lock()
+	var stale []*transport.Client
+	for id, c := range n.peers {
+		m, ok := r.Member(id)
+		if !ok || m.State == StateLeft {
+			stale = append(stale, c)
+			delete(n.peers, id)
+			delete(n.water, id)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range stale {
+		//ptmlint:allow errdrop -- best-effort teardown of a departed peer's connection
+		_ = c.Close()
+	}
+}

@@ -44,6 +44,34 @@ const (
 	// MsgUploadBatchAck acknowledges a batch, reporting how many records
 	// were accepted and the first per-record failure, if any.
 	MsgUploadBatchAck
+
+	// Cluster extension frames (internal/cluster). The core server
+	// delegates these to its store's Extension implementation; a
+	// non-cluster store answers them with a MsgResult failure.
+
+	// MsgRingGet requests a node's current ring configuration.
+	MsgRingGet
+	// MsgRing carries a ring configuration (node -> client, and the
+	// response to MsgRingSet, echoing the ring now in effect).
+	MsgRing
+	// MsgRingSet installs a ring configuration on a node if it is newer
+	// than the one in effect (admin -> node).
+	MsgRingSet
+	// MsgReplBatch carries replicated records from a partition leader to
+	// a follower, with the shipper's watermark header.
+	MsgReplBatch
+	// MsgReplAck acknowledges a replication batch once every record in
+	// it is as durable on the follower as its store promises.
+	MsgReplAck
+	// MsgFetchRecords requests a location's full record set (router ->
+	// node), for cross-partition joins computed client-side.
+	MsgFetchRecords
+	// MsgRecords carries a batch of marshaled records (node -> router).
+	MsgRecords
+	// MsgStatus requests a node's cluster status summary.
+	MsgStatus
+	// MsgStatusResp carries the JSON-encoded status summary.
+	MsgStatusResp
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +101,24 @@ func (t MsgType) String() string {
 		return "UPLOAD_BATCH"
 	case MsgUploadBatchAck:
 		return "UPLOAD_BATCH_ACK"
+	case MsgRingGet:
+		return "RING_GET"
+	case MsgRing:
+		return "RING"
+	case MsgRingSet:
+		return "RING_SET"
+	case MsgReplBatch:
+		return "REPL_BATCH"
+	case MsgReplAck:
+		return "REPL_ACK"
+	case MsgFetchRecords:
+		return "FETCH_RECORDS"
+	case MsgRecords:
+		return "RECORDS"
+	case MsgStatus:
+		return "STATUS"
+	case MsgStatusResp:
+		return "STATUS_RESP"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

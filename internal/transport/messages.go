@@ -259,6 +259,49 @@ func decodeUploadBatch(b []byte) ([]*record.Record, error) {
 	return recs, nil
 }
 
+// EncodeRecordBatch frames records in the UploadBatch wire format —
+// exported for protocol extensions (cluster replication and record
+// fetch) that carry record batches in their own frame types.
+//
+//ptm:sink transport upload
+func EncodeRecordBatch(recs []*record.Record) ([]byte, error) {
+	return encodeUploadBatch(recs)
+}
+
+// EncodeRecordBlobs frames already-marshaled records in the UploadBatch
+// wire format. The cluster shipper holds WAL entries (which are exactly
+// record.MarshalBinary blobs) and must not pay a decode/re-encode round
+// trip per shipped record.
+//
+//ptm:sink transport upload
+func EncodeRecordBlobs(blobs [][]byte) ([]byte, error) {
+	if len(blobs) == 0 || len(blobs) > MaxBatchRecords {
+		return nil, fmt.Errorf("%w: batch of %d records", ErrBadFrame, len(blobs))
+	}
+	total := 4
+	for _, blob := range blobs {
+		total += 4 + len(blob)
+	}
+	if total > MaxFrameSize {
+		return nil, fmt.Errorf("%w: batch payload %d bytes", ErrFrameTooLarge, total)
+	}
+	buf := make([]byte, 4, total)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(blobs)))
+	for _, blob := range blobs {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
+		buf = append(buf, lenBuf[:]...)
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// DecodeRecordBatch parses a record batch framed by EncodeRecordBatch or
+// EncodeRecordBlobs, validating every record.
+func DecodeRecordBatch(payload []byte) ([]*record.Record, error) {
+	return decodeUploadBatch(payload)
+}
+
 // batchResult is the server's answer to an UploadBatch: how many records
 // were accepted and, when ok is false, the first per-record failure.
 type batchResult struct {

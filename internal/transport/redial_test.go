@@ -1,0 +1,197 @@
+package transport
+
+// Tests for the Redial recovery path (DESIGN.md §15): a transport
+// failure poisons the connection's session, and Redial replaces the
+// session so the same Client object recovers — the cluster router keeps
+// one Client per node across node restarts and failovers.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ptm/internal/central"
+	"ptm/internal/record"
+	"ptm/internal/vhash"
+)
+
+// redialRecord builds a small valid record for upload tests.
+func redialRecord(loc, period, bit int) *record.Record {
+	rec, err := record.New(vhash.LocationID(loc), record.PeriodID(period), 64)
+	if err != nil {
+		panic(err)
+	}
+	rec.Bitmap.Set(uint64(bit))
+	return rec
+}
+
+// startServer serves a fresh central store on addr ("" for any port) and
+// returns the server and its bound address.
+func startServer(t *testing.T, addr string) (*Server, string) {
+	t.Helper()
+	store, err := central.NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String()
+}
+
+func TestRedialBrokenThenRecovered(t *testing.T) {
+	srv, addr := startServer(t, "")
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Upload(redialRecord(1, 1, 3)); err != nil {
+		t.Fatalf("upload before failure: %v", err)
+	}
+
+	// Kill the server: the next call fails with a transport error, and
+	// the failure is sticky — every later call on the old session fails
+	// fast without touching the network.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = client.Upload(redialRecord(1, 2, 3))
+	if err == nil {
+		t.Fatal("upload to a dead server succeeded")
+	}
+	if IsRemote(err) {
+		t.Fatalf("dead server produced a RemoteError: %v", err)
+	}
+	if err2 := client.Upload(redialRecord(1, 3, 3)); err2 == nil {
+		t.Fatal("poisoned client accepted another upload")
+	}
+
+	// Server comes back on the same address (restart / failover target).
+	srv2, _ := startServer(t, addr)
+	defer srv2.Close()
+
+	// Redial swaps the session; the same Client recovers fully.
+	if err := client.Redial(); err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	if err := client.Upload(redialRecord(1, 2, 3)); err != nil {
+		t.Fatalf("upload after redial: %v", err)
+	}
+	locs, err := client.ListLocations()
+	if err != nil {
+		t.Fatalf("list after redial: %v", err)
+	}
+	if len(locs) != 1 {
+		t.Fatalf("locations after redial = %v, want the one uploaded", locs)
+	}
+}
+
+func TestRedialFailsKeepsClientUsable(t *testing.T) {
+	srv, addr := startServer(t, "")
+	defer srv.Close()
+	client, err := Dial(addr, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Redialing a healthy client is allowed (reconnect); a failed redial
+	// (to nowhere) leaves the previous session in place.
+	if err := client.Redial(); err != nil {
+		t.Fatalf("redial healthy: %v", err)
+	}
+	if err := client.Upload(redialRecord(2, 1, 5)); err != nil {
+		t.Fatalf("upload after healthy redial: %v", err)
+	}
+}
+
+func TestRedialNotRedialable(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	client := NewClient(c1)
+	defer client.Close()
+	if err := client.Redial(); !errors.Is(err, ErrNotRedialable) {
+		t.Fatalf("redial on wrapped conn = %v, want ErrNotRedialable", err)
+	}
+}
+
+func TestRedialAfterClose(t *testing.T) {
+	srv, addr := startServer(t, "")
+	defer srv.Close()
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Redial(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("redial after close = %v, want ErrClientClosed", err)
+	}
+}
+
+// TestRedialReleasesInflightCalls pins the liveness property: calls in
+// flight on the replaced session fail promptly (with the sticky error),
+// they do not hang waiting for a response that will never arrive.
+func TestRedialReleasesInflightCalls(t *testing.T) {
+	// A listener that accepts and then reads nothing: calls stay in
+	// flight forever until the session is torn down.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- conn
+		}
+	}()
+
+	client, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := client.ListLocations()
+		errc <- err
+	}()
+	// Wait for the call to be on the wire (the black-hole server has
+	// accepted and the frame is written), then redial.
+	conn := <-accepted
+	defer conn.Close()
+	buf := make([]byte, frameHeaderLen)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Redial(); err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("in-flight call on replaced session returned success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung across Redial")
+	}
+}

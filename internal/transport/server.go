@@ -36,6 +36,18 @@ type Store interface {
 	Periods(vhash.LocationID) []record.PeriodID
 }
 
+// Extension is an optional interface a Store may implement to handle
+// protocol frames beyond the core upload/query set. The cluster node
+// (internal/cluster) implements it for ring management, replication,
+// and record-fetch frames, without this package importing those
+// schemas. HandleFrame returns handled=false for frame types it does
+// not recognize; the server then answers with the generic bad-frame
+// failure. Implementations must be safe for concurrent use — the
+// server calls HandleFrame from every connection's goroutine.
+type Extension interface {
+	HandleFrame(t MsgType, payload []byte) (respType MsgType, resp []byte, handled bool)
+}
+
 // Server exposes a record store over the wire protocol. One goroutine
 // serves each accepted connection; connections are independent
 // request/response streams.
@@ -244,6 +256,11 @@ func (s *Server) dispatch(t MsgType, payload []byte) (MsgType, []byte) {
 		loc := vhash.LocationID(binary.LittleEndian.Uint64(payload))
 		return MsgPeriods, encodePeriodList(s.store.Periods(loc))
 	default:
+		if ext, ok := s.store.(Extension); ok {
+			if respType, resp, handled := ext.HandleFrame(t, payload); handled {
+				return respType, resp
+			}
+		}
 		return fail(MsgResult, fmt.Errorf("%w: unexpected message %v", ErrBadFrame, t))
 	}
 }

@@ -199,6 +199,18 @@ func (l *Log) ReplayThrough(seg uint64, fn func(payload []byte) error) error {
 	return l.replayRange(first, seg, fn)
 }
 
+// ReplaySegments calls fn for every entry in segments first..last
+// inclusive, oldest first. It is the replication shipper's incremental
+// read: after Seal returns sealed, ReplaySegments(watermark+1, sealed,
+// fn) visits exactly the entries the follower has not yet seen. Like
+// ReplayThrough, segments dropped by a concurrent checkpoint are
+// silently skipped — a shipper must compare first against
+// Segments()'s first return afterwards and fall back to a full resync
+// if the range's low end no longer exists.
+func (l *Log) ReplaySegments(first, last uint64, fn func(payload []byte) error) error {
+	return l.replayRange(first, last, fn)
+}
+
 // replayRange scans segments first..last inclusive. Segments were
 // validated (and the tail repaired) by Open, so any error here is real
 // corruption or a broken fn.

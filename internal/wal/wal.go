@@ -576,6 +576,17 @@ func (l *Log) Seal() (uint64, error) {
 	return sealed, nil
 }
 
+// Segments returns the index of the oldest surviving segment and of the
+// active tail segment. A replication shipper uses the pair to decide
+// between incremental catch-up (its watermark+1 >= first, so every
+// needed segment still exists) and a full-state resync (checkpoint
+// compaction already dropped segments the follower has not seen).
+func (l *Log) Segments() (first, active uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstSeg, l.segIndex
+}
+
 // DropThrough deletes every segment with index <= seg. It refuses to
 // drop the active segment.
 func (l *Log) DropThrough(seg uint64) error {

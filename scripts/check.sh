@@ -26,6 +26,10 @@
 #  11. out-of-core smoke   (tiered centrald over a 10x-budget dataset:
 #                          peak-RSS bound + estimates identical to the
 #                          all-resident daemon)
+#  12. cluster smoke       (3-node cluster, R=2: kill -9 the partition
+#                          leader mid-ingest, fail over, revive, join,
+#                          drain — zero acked-record loss and estimates
+#                          byte-identical to a single-node reference)
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target fuzzing budget for the smoke stage (default 5s)
@@ -119,5 +123,8 @@ scripts/crashsmoke.sh
 
 step "out-of-core smoke (tiered centrald, 10x-budget dataset, RSS bound + estimate equality)"
 scripts/oocsmoke.sh
+
+step "cluster smoke (3-node cluster, kill -9 + failover + revive + join + drain)"
+scripts/clustersmoke.sh
 
 step "all checks passed"
